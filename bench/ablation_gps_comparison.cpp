@@ -1,0 +1,80 @@
+/**
+ * Section VI-B ablation: FinePack vs GPS (MICRO'21). GPS couples
+ * cacheline-granularity write combining with per-page subscriptions;
+ * the paper reports FinePack is on average 17.8% slower than GPS but
+ * needs no application porting or VM changes, and that the two win on
+ * different workloads. Write-combining alone is included to separate
+ * the subscription benefit from the coalescing granularity.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace fp;
+    using namespace fp::bench;
+    using sim::Paradigm;
+
+    double scale = benchScale(1.0);
+    sim::SimulationDriver driver;
+
+    // A second GPS configuration with finer subscription granularity:
+    // 4 KiB pages rarely filter dense reader sets, so the sweep shows
+    // how much of GPS's advantage hinges on tracking granularity.
+    sim::SimConfig fine_config;
+    fine_config.gps_page_bytes = 256;
+    sim::SimulationDriver fine_driver(fine_config);
+
+    const std::vector<Paradigm> paradigms = {
+        Paradigm::write_combine, Paradigm::gps, Paradigm::finepack};
+
+    common::Table table(
+        "GPS comparison: speedup over 1 GPU (PCIe 4.0)");
+    table.setHeader({"app", "write-combine", "gps (4KB)", "gps (256B)",
+                     "finepack", "winner"});
+
+    std::vector<double> gps_all, gps_fine_all, fp_all;
+    for (const std::string &app : apps()) {
+        const auto &trace = benchTrace(app, scale);
+        auto result = speedups(driver, trace, paradigms);
+        double gps_fine =
+            fine_driver.speedupOverSingleGpu(trace, Paradigm::gps);
+        double gps = result[Paradigm::gps];
+        double fpk = result[Paradigm::finepack];
+        gps_all.push_back(gps);
+        gps_fine_all.push_back(gps_fine);
+        fp_all.push_back(fpk);
+        double best_gps = std::max(gps, gps_fine);
+        table.addRow({app,
+                      common::Table::num(result[Paradigm::write_combine],
+                                         2),
+                      common::Table::num(gps, 2),
+                      common::Table::num(gps_fine, 2),
+                      common::Table::num(fpk, 2),
+                      fpk >= best_gps ? "finepack" : "gps"});
+    }
+    table.addRow({"geomean", "-", common::Table::num(geomean(gps_all), 2),
+                  common::Table::num(geomean(gps_fine_all), 2),
+                  common::Table::num(geomean(fp_all), 2), "-"});
+    table.print(std::cout);
+
+    double fp_geo = geomean(fp_all);
+    double gps_geo = geomean(gps_all);
+    std::cout
+        << "\nPaper claims (paper -> measured):\n"
+        << "  FinePack ~17.8% slower than GPS on average -> "
+        << common::Table::num(100.0 * (1.0 - fp_geo / gps_geo), 1)
+        << "% (negative means FinePack faster here)\n"
+        << "\nKnown deviation: in this reproduction GPS's page-level\n"
+        << "subscriptions filter little traffic because the workloads'\n"
+        << "reader sets are dense at 4 KiB granularity, while its\n"
+        << "full-cacheline transfers pay heavily on divergent-store\n"
+        << "apps - so FinePack wins everywhere. The paper's GPS\n"
+        << "comparison used GPS's own reference implementations,\n"
+        << "whose replica broadcast gives subscriptions much more to\n"
+        << "eliminate. See EXPERIMENTS.md.\n";
+    return 0;
+}

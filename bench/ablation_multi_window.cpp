@@ -1,0 +1,73 @@
+/**
+ * Extension ablation: multiple open outer transactions (windows) per
+ * remote-write-queue partition, the Section IV-C design alternative
+ * the paper leaves to future work ("It is also possible to allocate
+ * more than one buffer partition per remote GPU to avoid thrashing, at
+ * the cost of fewer entries per any individual partition").
+ *
+ * CT - whose concurrent rays scatter stores across a 4 GB volume and
+ * thrash a single 1 GiB window - is the intended beneficiary; the
+ * regular workloads should be insensitive.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace fp;
+    using namespace fp::bench;
+
+    double scale = benchScale(0.5);
+    const std::vector<std::uint32_t> window_counts = {1, 2, 4, 8};
+
+    common::Table table(
+        "Multi-window remote write queue sweep: FinePack "
+        "stores/packet (entry budget fixed at 64)");
+    table.setHeader({"app", "1 window", "2 windows", "4 windows",
+                     "8 windows"});
+
+    common::Table speed_table(
+        "Multi-window sweep: FinePack speedup over 1 GPU");
+    speed_table.setHeader({"app", "1 window", "2 windows", "4 windows",
+                           "8 windows"});
+
+    std::map<std::uint32_t, std::vector<double>> geo;
+    for (const std::string &app : apps()) {
+        const auto &trace = benchTrace(app, scale);
+        std::vector<std::string> pack_row{app}, speed_row{app};
+        for (std::uint32_t windows : window_counts) {
+            sim::SimConfig config;
+            config.finepack.windows_per_partition = windows;
+            sim::SimulationDriver driver(config);
+            Tick single =
+                driver.run(trace, sim::Paradigm::single_gpu).total_time;
+            sim::RunResult r =
+                driver.run(trace, sim::Paradigm::finepack);
+            double speedup = static_cast<double>(single) /
+                             static_cast<double>(r.total_time);
+            geo[windows].push_back(speedup);
+            pack_row.push_back(
+                common::Table::num(r.avg_stores_per_packet, 1));
+            speed_row.push_back(common::Table::num(speedup, 2));
+        }
+        table.addRow(std::move(pack_row));
+        speed_table.addRow(std::move(speed_row));
+    }
+    std::vector<std::string> geo_row{"geomean"};
+    for (std::uint32_t windows : window_counts)
+        geo_row.push_back(common::Table::num(geomean(geo[windows]), 2));
+    speed_table.addRow(std::move(geo_row));
+
+    table.print(std::cout);
+    speed_table.print(std::cout);
+
+    std::cout << "\nExpected shape: CT's packing recovers sharply with"
+                 " 2-8 windows (concurrent rays live in distinct\n"
+                 "regions); workloads whose streams already fit one"
+                 " window are unaffected, and the halved per-window\n"
+                 "entry budget can slightly hurt dense streams.\n";
+    return 0;
+}

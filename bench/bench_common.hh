@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shared support for the figure/table reproduction harnesses: workload
+ * set, trace access, geometric means, and uniform output formatting.
+ *
+ * Every bench binary regenerates one table or figure of the paper's
+ * evaluation; absolute values depend on this simulator, but the
+ * qualitative shape (who wins, by what factor, where crossovers fall)
+ * is the reproduction target recorded in EXPERIMENTS.md.
+ */
+
+#ifndef FP_BENCH_BENCH_COMMON_HH
+#define FP_BENCH_BENCH_COMMON_HH
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/driver.hh"
+#include "sim/trace_cache.hh"
+#include "workloads/workload.hh"
+
+namespace fp::bench {
+
+/** The eight evaluation applications, in the paper's order. */
+inline const std::vector<std::string> &
+apps()
+{
+    return workloads::allWorkloadNames();
+}
+
+/** Problem-size multiplier: FINEPACK_BENCH_SCALE overrides. */
+inline double
+benchScale(double fallback = 1.0)
+{
+    if (const char *env = std::getenv("FINEPACK_BENCH_SCALE"))
+        return std::atof(env);
+    return fallback;
+}
+
+inline workloads::WorkloadParams
+benchParams(double scale, std::uint32_t num_gpus = 4)
+{
+    workloads::WorkloadParams params;
+    params.num_gpus = num_gpus;
+    params.scale = scale;
+    params.seed = 42;
+    return params;
+}
+
+inline const trace::WorkloadTrace &
+benchTrace(const std::string &app, double scale,
+           std::uint32_t num_gpus = 4)
+{
+    return sim::TraceCache::instance().get(app,
+                                           benchParams(scale, num_gpus));
+}
+
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+inline double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+/** One app's speedups over the 1-GPU baseline for a set of paradigms. */
+inline std::map<sim::Paradigm, double>
+speedups(sim::SimulationDriver &driver, const trace::WorkloadTrace &trace,
+         const std::vector<sim::Paradigm> &paradigms)
+{
+    std::map<sim::Paradigm, double> result;
+    Tick single =
+        driver.run(trace, sim::Paradigm::single_gpu).total_time;
+    for (sim::Paradigm paradigm : paradigms) {
+        Tick t = driver.run(trace, paradigm).total_time;
+        result[paradigm] = static_cast<double>(single) /
+                           static_cast<double>(t);
+    }
+    return result;
+}
+
+} // namespace fp::bench
+
+#endif // FP_BENCH_BENCH_COMMON_HH

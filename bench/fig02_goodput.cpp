@@ -1,0 +1,50 @@
+/**
+ * Figure 2: percentage of useful bytes transferred vs. maximum
+ * theoretical throughput, when varying the transfer size of
+ * peer-to-peer stores, for PCIe and NVLink.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "interconnect/message.hh"
+#include "interconnect/protocol.hh"
+
+int
+main()
+{
+    using namespace fp;
+    using namespace fp::icn;
+
+    PcieProtocol pcie3(PcieGen::gen3);
+    PcieProtocol pcie4(PcieGen::gen4);
+    NvlinkProtocol nvlink;
+
+    common::Table table(
+        "Figure 2: P2P store goodput vs transfer size "
+        "(% of max theoretical throughput)");
+    table.setHeader({"transfer size (B)", "PCIe 3.0 %", "PCIe 4.0 %",
+                     "NVLink %"});
+
+    for (std::uint64_t size :
+         {4, 8, 16, 24, 32, 48, 64, 96, 128, 256, 512, 1024, 2048, 4096,
+          16384, 65536}) {
+        table.addRow({std::to_string(size),
+                      common::Table::num(100.0 * pcie3.goodput(size), 1),
+                      common::Table::num(100.0 * pcie4.goodput(size), 1),
+                      common::Table::num(100.0 * nvlink.goodput(size),
+                                         1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper shape checks:\n"
+              << "  32B vs >=128B efficiency ratio (PCIe 4.0): "
+              << common::Table::num(
+                     pcie4.goodput(32) / pcie4.goodput(4096), 2)
+              << "  (paper: 'roughly half')\n"
+              << "  NVLink goodput spike at flit-aligned 32B vs 24B: "
+              << common::Table::num(nvlink.goodput(32), 3) << " vs "
+              << common::Table::num(nvlink.goodput(24), 3)
+              << "  (paper footnote 1: byte-enable flit spikes)\n";
+    return 0;
+}

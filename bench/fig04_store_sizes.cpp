@@ -1,0 +1,55 @@
+/**
+ * Figure 4: average size distribution of remote stores exiting the
+ * GPU's L1 cache, per application. The histogram comes from the warp
+ * coalescer each workload's store stream runs through.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace fp;
+    using namespace fp::bench;
+
+    double scale = benchScale(1.0);
+
+    common::Table table(
+        "Figure 4: remote store sizes egressing L1 (% of stores)");
+    table.setHeader({"app", "1-4B", "5-8B", "9-16B", "17-32B", "33-64B",
+                     "65-128B", "avg size B"});
+
+    for (const std::string &app : apps()) {
+        // Generate outside the cache so the per-workload coalescer
+        // histogram is isolated.
+        auto workload = workloads::createWorkload(app);
+        workload->generateTrace(benchParams(scale));
+        const common::Histogram &hist =
+            workload->coalescer().sizeHistogram();
+
+        double total_bytes = 0.0, total_stores = 0.0;
+        // Recompute the average from the trace bytes.
+        const auto &trace = benchTrace(app, scale);
+        total_stores = static_cast<double>(trace.totalRemoteStores());
+        total_bytes =
+            static_cast<double>(trace.totalRemoteStoreBytes());
+
+        std::vector<std::string> row{app};
+        for (std::size_t bucket = 0; bucket < 6; ++bucket)
+            row.push_back(
+                common::Table::num(100.0 * hist.fraction(bucket), 1));
+        row.push_back(common::Table::num(
+            total_stores > 0 ? total_bytes / total_stores : 0.0, 1));
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper shape checks: irregular apps (pagerank, sssp,"
+                 " ct, eqwp, hit) are dominated by sub-32B stores;\n"
+                 "regular apps (jacobi, diffusion) emit full 128B"
+                 " lines. Section I: >63% of transfers below 32B on"
+                 " average across irregular apps.\n";
+    return 0;
+}

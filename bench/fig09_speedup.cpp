@@ -1,0 +1,81 @@
+/**
+ * Figure 9: 4-GPU speedups over a single GPU for the four communication
+ * paradigms (P2P stores, bulk DMA, FinePack, infinite bandwidth),
+ * across all eight evaluation applications, on PCIe 4.0.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace fp;
+    using namespace fp::bench;
+    using sim::Paradigm;
+
+    double scale = benchScale(1.0);
+    sim::SimulationDriver driver;
+
+    const std::vector<Paradigm> paradigms = {
+        Paradigm::p2p_stores, Paradigm::bulk_dma, Paradigm::finepack,
+        Paradigm::infinite_bw};
+
+    common::Table table(
+        "Figure 9: 4-GPU speedup over 1 GPU (PCIe 4.0)");
+    table.setHeader(
+        {"app", "p2p-stores", "bulk-dma", "finepack", "infinite-bw"});
+
+    std::map<Paradigm, std::vector<double>> all;
+    for (const std::string &app : apps()) {
+        const auto &trace = benchTrace(app, scale);
+        auto result = speedups(driver, trace, paradigms);
+        table.addRow({app, common::Table::num(result[paradigms[0]], 2),
+                      common::Table::num(result[paradigms[1]], 2),
+                      common::Table::num(result[paradigms[2]], 2),
+                      common::Table::num(result[paradigms[3]], 2)});
+        for (Paradigm p : paradigms)
+            all[p].push_back(result[p]);
+    }
+    table.addRow({"geomean", common::Table::num(geomean(all[paradigms[0]]), 2),
+                  common::Table::num(geomean(all[paradigms[1]]), 2),
+                  common::Table::num(geomean(all[paradigms[2]]), 2),
+                  common::Table::num(geomean(all[paradigms[3]]), 2)});
+    table.print(std::cout);
+
+    // Per-app improvement ratios, as the paper's text quotes means.
+    std::vector<double> fp_over_p2p, fp_over_dma;
+    for (std::size_t i = 0; i < apps().size(); ++i) {
+        fp_over_p2p.push_back(all[Paradigm::finepack][i] /
+                              all[Paradigm::p2p_stores][i]);
+        fp_over_dma.push_back(all[Paradigm::finepack][i] /
+                              all[Paradigm::bulk_dma][i]);
+    }
+
+    double fp_geo = geomean(all[Paradigm::finepack]);
+    double inf_geo = geomean(all[Paradigm::infinite_bw]);
+    std::cout << "\nPaper headline comparisons (paper -> measured):\n"
+              << "  FinePack avg strong scaling: 2.4x -> "
+              << common::Table::num(fp_geo, 2) << "x\n"
+              << "  Infinite-BW opportunity:     3.4x -> "
+              << common::Table::num(inf_geo, 2) << "x\n"
+              << "  FinePack captures 71% of opportunity -> "
+              << common::Table::num(100.0 * fp_geo / inf_geo, 0)
+              << "%\n"
+              << "  FinePack over P2P stores: 3.0x -> "
+              << common::Table::num(mean(fp_over_p2p), 2)
+              << "x (mean of per-app ratios), "
+              << common::Table::num(geomean(all[Paradigm::finepack]) /
+                                        geomean(all[Paradigm::p2p_stores]),
+                                    2)
+              << "x (geomean)\n"
+              << "  FinePack over bulk DMA:   1.4x -> "
+              << common::Table::num(mean(fp_over_dma), 2)
+              << "x (mean of per-app ratios), "
+              << common::Table::num(geomean(all[Paradigm::finepack]) /
+                                        geomean(all[Paradigm::bulk_dma]),
+                                    2)
+              << "x (geomean)\n";
+    return 0;
+}

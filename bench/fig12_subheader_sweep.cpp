@@ -1,0 +1,58 @@
+/**
+ * Figure 12: FinePack performance sensitivity to the number of
+ * sub-transaction header bytes (2..6; Table II geometries). Values are
+ * speedups over the single-GPU baseline, and per-app performance
+ * normalized to the 4-byte configuration as the paper plots it.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace fp;
+    using namespace fp::bench;
+
+    double scale = benchScale(0.5);
+    const std::vector<std::uint32_t> sweep = {2, 3, 4, 5, 6};
+
+    common::Table table(
+        "Figure 12: FinePack speedup vs sub-header bytes "
+        "(speedup over 1 GPU)");
+    table.setHeader({"app", "2B (64B)", "3B (16KB)", "4B (4MB)",
+                     "5B (1GB)", "6B (256GB)"});
+
+    std::map<std::uint32_t, std::vector<double>> per_config;
+    for (const std::string &app : apps()) {
+        const auto &trace = benchTrace(app, scale);
+        std::vector<std::string> row{app};
+        for (std::uint32_t bytes : sweep) {
+            sim::SimConfig config;
+            config.finepack = finepack::configWithSubheader(bytes);
+            sim::SimulationDriver driver(config);
+            double speedup = driver.speedupOverSingleGpu(
+                trace, sim::Paradigm::finepack);
+            per_config[bytes].push_back(speedup);
+            row.push_back(common::Table::num(speedup, 2));
+        }
+        table.addRow(std::move(row));
+    }
+    std::vector<std::string> geo_row{"geomean"};
+    for (std::uint32_t bytes : sweep)
+        geo_row.push_back(common::Table::num(
+            geomean(per_config[bytes]), 2));
+    table.addRow(std::move(geo_row));
+    table.print(std::cout);
+
+    double at4 = geomean(per_config[4]);
+    std::cout << "\nGeomean normalized to the 4-byte sub-header"
+                 " (paper: performance peaks at 4-5 bytes):\n";
+    for (std::uint32_t bytes : sweep)
+        std::cout << "  " << bytes << "B: "
+                  << common::Table::num(
+                         geomean(per_config[bytes]) / at4, 3)
+                  << "\n";
+    return 0;
+}

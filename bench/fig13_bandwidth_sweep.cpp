@@ -1,0 +1,68 @@
+/**
+ * Figure 13: geometric-mean strong-scaling performance of each
+ * paradigm as the inter-GPU interconnect bandwidth grows from PCIe 4.0
+ * (32 GB/s) through PCIe 6.0 (128 GB/s, comparable to today's fastest
+ * NVLink), with GPU compute held constant.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace fp;
+    using namespace fp::bench;
+    using sim::Paradigm;
+
+    double scale = benchScale(0.5);
+
+    const std::vector<icn::PcieGen> gens = {
+        icn::PcieGen::gen4, icn::PcieGen::gen5, icn::PcieGen::gen6};
+    const std::vector<Paradigm> paradigms = {
+        Paradigm::p2p_stores, Paradigm::bulk_dma, Paradigm::finepack,
+        Paradigm::infinite_bw};
+
+    common::Table table(
+        "Figure 13: geomean 4-GPU speedup vs interconnect bandwidth");
+    table.setHeader({"interconnect", "p2p-stores", "bulk-dma",
+                     "finepack", "infinite-bw"});
+
+    std::map<icn::PcieGen, std::map<Paradigm, double>> geo;
+    for (icn::PcieGen gen : gens) {
+        sim::SimConfig config;
+        config.pcie_gen = gen;
+        sim::SimulationDriver driver(config);
+
+        std::map<Paradigm, std::vector<double>> per_app;
+        for (const std::string &app : apps()) {
+            const auto &trace = benchTrace(app, scale);
+            auto result = speedups(driver, trace, paradigms);
+            for (Paradigm p : paradigms)
+                per_app[p].push_back(result[p]);
+        }
+        std::vector<std::string> row{toString(gen)};
+        for (Paradigm p : paradigms) {
+            geo[gen][p] = geomean(per_app[p]);
+            row.push_back(common::Table::num(geo[gen][p], 2));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper shape checks: every paradigm improves with"
+                 " bandwidth, but neither P2P stores nor bulk DMA"
+                 " reaches\nFinePack at any step short of infinite"
+                 " bandwidth.\n";
+    for (icn::PcieGen gen : gens) {
+        bool fp_wins =
+            geo[gen][Paradigm::finepack] >
+                geo[gen][Paradigm::p2p_stores] &&
+            geo[gen][Paradigm::finepack] > geo[gen][Paradigm::bulk_dma];
+        std::cout << "  " << toString(gen)
+                  << ": FinePack ahead of both baselines: "
+                  << (fp_wins ? "yes" : "NO") << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * Micro-benchmarks (google-benchmark) for the hot simulator structures:
+ * remote write queue push/flush, packetization, warp coalescing, and
+ * the event queue. These guard the simulation's own performance, not
+ * the paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/event_queue.hh"
+#include "common/random.hh"
+#include "finepack/packetizer.hh"
+#include "finepack/remote_write_queue.hh"
+#include "gpu/warp_coalescer.hh"
+
+using namespace fp;
+
+namespace {
+
+/** Deterministic pseudo-random store stream with tunable locality. */
+icn::Store
+nextStore(common::Rng &rng, Addr region)
+{
+    Addr addr = 0x40000000 + rng.below(region);
+    std::uint32_t size = 4u << rng.below(3); // 4, 8, 16
+    Addr line_end = (addr & ~Addr{127}) + 128;
+    if (addr + size > line_end)
+        size = static_cast<std::uint32_t>(line_end - addr);
+    return icn::Store(addr, size, 0, 1);
+}
+
+void
+BM_RwqPushDense(benchmark::State &state)
+{
+    finepack::RwqPartition partition(1, finepack::defaultConfig());
+    common::Rng rng(7);
+    std::vector<finepack::FlushedPartition> sink;
+    for (auto _ : state) {
+        sink.clear();
+        partition.push(nextStore(rng, 64 * KiB), sink);
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RwqPushDense);
+
+void
+BM_RwqPushScattered(benchmark::State &state)
+{
+    finepack::RwqPartition partition(1, finepack::defaultConfig());
+    common::Rng rng(7);
+    std::vector<finepack::FlushedPartition> sink;
+    for (auto _ : state) {
+        sink.clear();
+        partition.push(nextStore(rng, 3 * GiB), sink);
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RwqPushScattered);
+
+void
+BM_PacketizeFlush(benchmark::State &state)
+{
+    finepack::FinePackConfig config = finepack::defaultConfig();
+    finepack::Packetizer packetizer(0, config);
+    common::Rng rng(11);
+
+    for (auto _ : state) {
+        state.PauseTiming();
+        finepack::RwqPartition partition(1, config);
+        std::vector<finepack::FlushedPartition> sink;
+        for (int i = 0; i < 48; ++i)
+            partition.push(nextStore(rng, 64 * KiB), sink);
+        finepack::FlushedPartition flushed =
+            partition.flush(finepack::FlushReason::release);
+        state.ResumeTiming();
+
+        if (!flushed.empty()) {
+            auto txn = packetizer.packetize(flushed);
+            benchmark::DoNotOptimize(txn);
+        }
+    }
+}
+BENCHMARK(BM_PacketizeFlush);
+
+void
+BM_WarpCoalesceContiguous(benchmark::State &state)
+{
+    gpu::WarpCoalescer coalescer;
+    std::vector<gpu::LaneAccess> lanes, out;
+    for (std::uint32_t i = 0; i < 32; ++i)
+        lanes.push_back(gpu::LaneAccess{0x1000 + i * 8, 8});
+    for (auto _ : state) {
+        out.clear();
+        coalescer.coalesce(lanes, out);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_WarpCoalesceContiguous);
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        common::EventQueue queue;
+        std::uint64_t count = 0;
+        for (int i = 0; i < 1024; ++i)
+            queue.schedule([&count]() { ++count; },
+                           static_cast<Tick>(i * 10));
+        queue.run();
+        benchmark::DoNotOptimize(count);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+} // namespace
+
+BENCHMARK_MAIN();

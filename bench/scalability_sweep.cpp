@@ -1,0 +1,60 @@
+/**
+ * GPU-count scalability sweep (companion to the paper's 4-GPU headline
+ * and 16-GPU projection): geomean strong scaling of each paradigm at
+ * 2, 4, 8, and 16 GPUs on PCIe 4.0, holding per-problem size constant
+ * (strong scaling).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace fp;
+    using namespace fp::bench;
+    using sim::Paradigm;
+
+    double scale = benchScale(0.5);
+    sim::SimulationDriver driver;
+
+    const std::vector<std::uint32_t> gpu_counts = {2, 4, 8, 16};
+    const std::vector<Paradigm> paradigms = {
+        Paradigm::p2p_stores, Paradigm::bulk_dma, Paradigm::finepack,
+        Paradigm::infinite_bw};
+
+    common::Table table(
+        "Strong scaling vs GPU count (geomean speedup over 1 GPU, "
+        "PCIe 4.0)");
+    table.setHeader({"GPUs", "p2p-stores", "bulk-dma", "finepack",
+                     "infinite-bw", "FP % of opportunity"});
+
+    for (std::uint32_t gpus : gpu_counts) {
+        std::map<Paradigm, std::vector<double>> per_app;
+        for (const std::string &app : apps()) {
+            const auto &trace = benchTrace(app, scale, gpus);
+            auto result = speedups(driver, trace, paradigms);
+            for (Paradigm p : paradigms)
+                per_app[p].push_back(result[p]);
+        }
+        double fp_geo = geomean(per_app[Paradigm::finepack]);
+        double inf_geo = geomean(per_app[Paradigm::infinite_bw]);
+        table.addRow(
+            {std::to_string(gpus),
+             common::Table::num(geomean(per_app[Paradigm::p2p_stores]),
+                                2),
+             common::Table::num(geomean(per_app[Paradigm::bulk_dma]),
+                                2),
+             common::Table::num(fp_geo, 2),
+             common::Table::num(inf_geo, 2),
+             common::Table::num(100.0 * fp_geo / inf_geo, 0) + "%"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nShape: the FinePack-vs-baselines gap widens with"
+                 " GPU count (communication grows super-linearly under"
+                 " strong scaling,\nSection I), while FinePack tracks"
+                 " the infinite-bandwidth bound.\n";
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * Section VI-B scaling study: a 16-GPU system on a projected PCIe 6.0
+ * interconnect. The paper reports FinePack outperforming P2P stores by
+ * 3x and bulk DMA by 1.9x at that scale, with the remote write queue
+ * SRAM growing to 120 KB per GPU (15 partitions).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "finepack/remote_write_queue.hh"
+
+int
+main()
+{
+    using namespace fp;
+    using namespace fp::bench;
+    using sim::Paradigm;
+
+    double scale = benchScale(0.5);
+    const std::uint32_t gpus = 16;
+
+    sim::SimConfig config;
+    config.pcie_gen = icn::PcieGen::gen6;
+    sim::SimulationDriver driver(config);
+
+    const std::vector<Paradigm> paradigms = {
+        Paradigm::p2p_stores, Paradigm::bulk_dma, Paradigm::finepack,
+        Paradigm::infinite_bw};
+
+    common::Table table(
+        "16-GPU speedup over 1 GPU (PCIe 6.0)");
+    table.setHeader(
+        {"app", "p2p-stores", "bulk-dma", "finepack", "infinite-bw"});
+
+    std::map<Paradigm, std::vector<double>> all;
+    for (const std::string &app : apps()) {
+        const auto &trace = benchTrace(app, scale, gpus);
+        auto result = speedups(driver, trace, paradigms);
+        table.addRow({app, common::Table::num(result[paradigms[0]], 2),
+                      common::Table::num(result[paradigms[1]], 2),
+                      common::Table::num(result[paradigms[2]], 2),
+                      common::Table::num(result[paradigms[3]], 2)});
+        for (Paradigm p : paradigms)
+            all[p].push_back(result[p]);
+    }
+    std::vector<std::string> geo_row{"geomean"};
+    for (Paradigm p : paradigms)
+        geo_row.push_back(common::Table::num(geomean(all[p]), 2));
+    table.addRow(std::move(geo_row));
+    table.print(std::cout);
+
+    std::vector<double> fp_over_p2p, fp_over_dma;
+    for (std::size_t i = 0; i < apps().size(); ++i) {
+        fp_over_p2p.push_back(all[Paradigm::finepack][i] /
+                              all[Paradigm::p2p_stores][i]);
+        fp_over_dma.push_back(all[Paradigm::finepack][i] /
+                              all[Paradigm::bulk_dma][i]);
+    }
+
+    finepack::RemoteWriteQueue rwq(0, gpus, finepack::defaultConfig());
+    std::uint64_t sram_kb = rwq.totalSramBytes() / 1024;
+
+    std::cout << "\nPaper claims at 16 GPUs / PCIe 6.0 "
+                 "(paper -> measured):\n"
+              << "  FinePack over P2P stores: 3.0x -> "
+              << common::Table::num(mean(fp_over_p2p), 2)
+              << "x (mean of per-app ratios)\n"
+              << "  FinePack over bulk DMA:   1.9x -> "
+              << common::Table::num(mean(fp_over_dma), 2)
+              << "x (mean of per-app ratios)\n"
+              << "  Remote write queue SRAM per GPU: 120KB -> "
+              << sram_kb
+              << "KB of line data (15 partitions x 64 x 128B; "
+                 "+15KB of byte enables)\n";
+    return 0;
+}

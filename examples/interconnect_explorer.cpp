@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Interconnect protocol explorer: build FinePack transactions by hand
+ * against different sub-header geometries and PCIe generations, and
+ * print exactly where every wire byte goes. A low-level tour of the
+ * public API (no workloads, no event simulation).
+ *
+ * Usage: interconnect_explorer [num_stores] [store_bytes]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hh"
+#include "finepack/packetizer.hh"
+#include "finepack/remote_write_queue.hh"
+#include "interconnect/protocol.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fp;
+    using namespace fp::finepack;
+
+    auto num_stores =
+        static_cast<std::uint32_t>(argc > 1 ? std::atoi(argv[1]) : 42);
+    auto store_bytes =
+        static_cast<std::uint32_t>(argc > 2 ? std::atoi(argv[2]) : 8);
+
+    icn::PcieProtocol pcie(icn::PcieGen::gen4);
+
+    std::cout << "Packing " << num_stores << " stores of "
+              << store_bytes << " B (stride 2 lines, one window)\n";
+
+    common::Table table("Wire cost per sub-header geometry");
+    table.setHeader({"sub-header", "window", "packets", "sub-packets",
+                     "payload B", "header B", "raw P2P B", "saving"});
+
+    for (std::uint32_t subheader = 2; subheader <= 6; ++subheader) {
+        FinePackConfig config = configWithSubheader(subheader);
+        RemoteWriteQueue rwq(0, 2, config);
+        Packetizer packetizer(0, config);
+
+        std::uint64_t payload = 0, header = 0, packets = 0, subs = 0;
+        auto account = [&](const FlushedPartition &flushed) {
+            if (flushed.empty())
+                return;
+            auto msg = packetizer.toMessage(flushed, pcie);
+            payload += msg->payload_bytes;
+            header += msg->header_bytes;
+            ++packets;
+            subs += msg->stores.size();
+        };
+
+        std::vector<FlushedPartition> sink;
+        for (std::uint32_t i = 0; i < num_stores; ++i) {
+            // Scatter across every other cache line, FinePack's bread
+            // and butter: no intra-warp locality, strong window
+            // locality.
+            icn::Store store(0x40000000 + i * 256ull, store_bytes, 0,
+                             1);
+            sink.clear();
+            rwq.push(store, sink);
+            for (const auto &flushed : sink)
+                account(flushed);
+        }
+        for (const auto &flushed :
+             rwq.flushAll(FlushReason::release))
+            account(flushed);
+
+        std::uint64_t raw = num_stores * pcie.storeWireBytes(0, store_bytes);
+        std::uint64_t finepack_total = payload + header;
+        auto window = config.addressableRange();
+        std::string window_str =
+            window >= GiB ? std::to_string(window / GiB) + "GB"
+            : window >= MiB ? std::to_string(window / MiB) + "MB"
+            : window >= KiB ? std::to_string(window / KiB) + "KB"
+                            : std::to_string(window) + "B";
+        table.addRow({std::to_string(subheader) + "B", window_str,
+                      std::to_string(packets), std::to_string(subs),
+                      std::to_string(payload), std::to_string(header),
+                      std::to_string(raw),
+                      common::Table::num(
+                          100.0 * (1.0 -
+                                   static_cast<double>(finepack_total) /
+                                       static_cast<double>(raw)),
+                          1) +
+                          "%"});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nSmall windows (2-3 B sub-headers) flush constantly and"
+           " pay per-packet overhead;\nlarge windows waste sub-header"
+           " bits. The paper lands on 4-5 B (Figure 12).\n";
+    return 0;
+}

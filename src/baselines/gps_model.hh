@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A model of GPS (MICRO'21, "GPS: A Global Publish-Subscribe Model for
+ * Multi-GPU Memory Management"), the system the paper compares against
+ * in Section VI-B.
+ *
+ * GPS maintains replicas updated by proactive stores, but (1) coalesces
+ * at whole-cacheline granularity in a write-combining buffer, and
+ * (2) tracks per-page subscriptions so that updates to pages a GPU
+ * never reads are not sent to it at all. This model supplies the
+ * subscription filter; the timing simulation combines it with the
+ * write-combine egress mode.
+ */
+
+#ifndef FP_BASELINES_GPS_MODEL_HH
+#define FP_BASELINES_GPS_MODEL_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/trace.hh"
+
+namespace fp::baselines {
+
+/** Per-iteration page-subscription filter. */
+class GpsModel
+{
+  public:
+    explicit GpsModel(std::uint64_t page_bytes = 4096);
+
+    /**
+     * Rebuild subscriptions from one iteration's consumption oracle:
+     * GPU g subscribes to every page it reads any byte of. (GPS learns
+     * this dynamically from access profiling; the oracle gives the
+     * converged subscription set.)
+     */
+    void beginIteration(const trace::IterationWork &iter);
+
+    /** Should a store to (dst, addr) be transferred at all? */
+    bool subscribed(GpuId dst, Addr addr) const;
+
+    std::uint64_t pageBytes() const { return _page_bytes; }
+
+    /** Stores dropped by the subscription filter since construction. */
+    std::uint64_t storesFiltered() const { return _filtered; }
+    void countFiltered() { ++_filtered; }
+
+  private:
+    std::uint64_t _page_bytes;
+    std::vector<std::unordered_set<Addr>> _pages; // [dst] -> page set
+    std::uint64_t _filtered = 0;
+};
+
+} // namespace fp::baselines
+
+#endif // FP_BASELINES_GPS_MODEL_HH

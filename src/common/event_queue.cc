@@ -1,0 +1,93 @@
+#include "common/event_queue.hh"
+
+#include <algorithm>
+
+namespace fp::common {
+
+void
+EventQueue::schedule(Event *event, Tick when)
+{
+    fp_assert(event != nullptr, "cannot schedule null event");
+    fp_assert(!event->_scheduled,
+              "event already scheduled (", event->description(), ")");
+    fp_assert(when >= _now, "scheduling in the past: when=", when,
+              " now=", _now);
+
+    event->_when = when;
+    event->_sequence = _next_sequence++;
+    event->_scheduled = true;
+    _queue.push(Entry{when, event->priority(), event->_sequence, event});
+}
+
+void
+EventQueue::reschedule(Event *event, Tick when)
+{
+    fp_assert(event != nullptr, "cannot reschedule null event");
+    // The stale heap entry (if any) is detected later by sequence mismatch.
+    event->_scheduled = false;
+    schedule(event, when);
+}
+
+void
+EventQueue::pruneStale()
+{
+    while (!_queue.empty() && isStale(_queue.top()))
+        _queue.pop();
+}
+
+Tick
+EventQueue::nextEventTick()
+{
+    pruneStale();
+    return _queue.empty() ? max_tick : _queue.top().when;
+}
+
+bool
+EventQueue::step()
+{
+    pruneStale();
+    if (_queue.empty())
+        return false;
+
+    Entry top = _queue.top();
+    _queue.pop();
+
+    fp_assert(top.when >= _now, "time went backwards");
+    _now = top.when;
+
+    Event *event = top.event;
+    event->_scheduled = false;
+    ++_processed;
+    event->process();
+    collectGarbage();
+    return true;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    for (;;) {
+        pruneStale();
+        if (_queue.empty() || _queue.top().when > limit)
+            break;
+        step();
+    }
+    return _now;
+}
+
+void
+EventQueue::collectGarbage()
+{
+    // Periodically drop completed one-shot lambda events so long
+    // simulations do not accumulate unbounded ownership records. The
+    // threshold doubles with the surviving population so the amortized
+    // cost per event stays constant.
+    if (_owned.size() < _gc_threshold)
+        return;
+    std::erase_if(_owned, [](const std::unique_ptr<LambdaEvent> &event) {
+        return !event->scheduled();
+    });
+    _gc_threshold = std::max<std::size_t>(4096, _owned.size() * 2);
+}
+
+} // namespace fp::common

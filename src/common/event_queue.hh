@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * A minimal, deterministic event queue: events are (tick, priority,
+ * sequence) ordered callbacks. Components schedule lambdas or derive from
+ * Event for reusable/cancellable events. The queue is the single source of
+ * simulated time for a MultiGpuSystem instance.
+ *
+ * Lifetime contract (as in gem5): an Event object that has been scheduled
+ * must outlive the queue entry that refers to it, i.e. until it has either
+ * executed or the queue has been drained past its tick. Lambda events
+ * scheduled by value are owned by the queue itself.
+ */
+
+#ifndef FP_COMMON_EVENT_QUEUE_HH
+#define FP_COMMON_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace fp::common {
+
+class EventQueue;
+
+/**
+ * A schedulable event. Derive and implement process(), or use
+ * EventQueue::schedule() with a callable for one-shot events.
+ */
+class Event
+{
+  public:
+    /**
+     * Lower priorities execute first among events at the same tick.
+     * The defaults mirror the ordering needs of the link models: packet
+     * arrivals drain before new injections at the same tick, and stat
+     * dumps run last.
+     */
+    enum Priority : int {
+        prio_arrival = 0,
+        prio_default = 10,
+        prio_inject = 20,
+        prio_sync = 30,
+        prio_stat = 100,
+    };
+
+    explicit Event(int priority = prio_default) : _priority(priority) {}
+    virtual ~Event() = default;
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Invoked when simulated time reaches the scheduled tick. */
+    virtual void process() = 0;
+
+    /** Human-readable label for debugging. */
+    virtual const char *description() const { return "generic event"; }
+
+    bool scheduled() const { return _scheduled; }
+    Tick when() const { return _when; }
+    int priority() const { return _priority; }
+
+    /** Deschedule without executing; safe to call when not scheduled. */
+    void cancel() { _scheduled = false; }
+
+  private:
+    friend class EventQueue;
+
+    Tick _when = 0;
+    std::uint64_t _sequence = 0;
+    int _priority;
+    bool _scheduled = false;
+};
+
+/** One-shot event wrapping a callable; owned by the queue. */
+class LambdaEvent : public Event
+{
+  public:
+    LambdaEvent(std::function<void()> fn, int priority)
+        : Event(priority), _fn(std::move(fn))
+    {}
+
+    void process() override { _fn(); }
+    const char *description() const override { return "lambda event"; }
+
+  private:
+    std::function<void()> _fn;
+};
+
+/**
+ * The central event queue. Deterministic: ties at the same (tick, priority)
+ * break by insertion order. Cancelled and rescheduled events leave stale
+ * heap entries that are pruned lazily; staleness is detected by sequence
+ * number mismatch against the Event object.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Schedule @p event at absolute time @p when (>= now). */
+    void schedule(Event *event, Tick when);
+
+    /** (Re-)schedule an event, descheduling it first if already queued. */
+    void reschedule(Event *event, Tick when);
+
+    /** Schedule a one-shot callable at absolute time @p when. */
+    void
+    schedule(std::function<void()> fn, Tick when,
+             int priority = Event::prio_default)
+    {
+        auto owned = std::make_unique<LambdaEvent>(std::move(fn), priority);
+        LambdaEvent *raw = owned.get();
+        _owned.push_back(std::move(owned));
+        schedule(raw, when);
+    }
+
+    /** Schedule a one-shot callable @p delay ticks from now. */
+    void
+    scheduleIn(std::function<void()> fn, Tick delay,
+               int priority = Event::prio_default)
+    {
+        schedule(std::move(fn), _now + delay, priority);
+    }
+
+    /** True when no live (non-cancelled) events remain. */
+    bool empty() { pruneStale(); return _queue.empty(); }
+
+    /** Tick of the next live event; max_tick when empty. */
+    Tick nextEventTick();
+
+    /**
+     * Run events until the queue drains or the next event would be past
+     * @p limit. @return the tick of the last executed event.
+     */
+    Tick run(Tick limit = max_tick);
+
+    /** Execute at most one event. @return false if the queue was empty. */
+    bool step();
+
+    /** Total number of events processed since construction. */
+    std::uint64_t eventsProcessed() const { return _processed; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t sequence;
+        Event *event;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            if (priority != other.priority)
+                return priority > other.priority;
+            return sequence > other.sequence;
+        }
+    };
+
+    /** Pop heap entries whose event was cancelled or rescheduled. */
+    void pruneStale();
+    void collectGarbage();
+
+    bool
+    isStale(const Entry &entry) const
+    {
+        return !entry.event->_scheduled ||
+               entry.event->_sequence != entry.sequence;
+    }
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> _queue;
+    std::vector<std::unique_ptr<LambdaEvent>> _owned;
+    Tick _now = 0;
+    std::uint64_t _next_sequence = 0;
+    std::uint64_t _processed = 0;
+    std::size_t _gc_threshold = 4096;
+};
+
+} // namespace fp::common
+
+#endif // FP_COMMON_EVENT_QUEUE_HH

@@ -1,0 +1,73 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <iostream>
+
+namespace fp::common {
+
+namespace {
+
+std::atomic<bool> exceptions_enabled{true};
+std::atomic<bool> quiet{false};
+
+} // namespace
+
+void
+setExceptionsEnabled(bool enable)
+{
+    exceptions_enabled.store(enable);
+}
+
+bool
+exceptionsEnabled()
+{
+    return exceptions_enabled.load();
+}
+
+void
+setQuiet(bool q)
+{
+    quiet.store(q);
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &message)
+{
+    std::string full = std::string("panic: ") + message + " @ " + file + ":" +
+                       std::to_string(line);
+    if (exceptionsEnabled())
+        throw SimError(SimError::Kind::Panic, full);
+    std::cerr << full << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &message)
+{
+    std::string full = std::string("fatal: ") + message + " @ " + file + ":" +
+                       std::to_string(line);
+    if (exceptionsEnabled())
+        throw SimError(SimError::Kind::Fatal, full);
+    std::cerr << full << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &message)
+{
+    if (!quiet.load())
+        std::cerr << "warn: " << message << std::endl;
+}
+
+void
+informImpl(const std::string &message)
+{
+    if (!quiet.load())
+        std::cout << "info: " << message << std::endl;
+}
+
+} // namespace detail
+
+} // namespace fp::common

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Status / error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  - an internal invariant of the simulator was violated (a bug in
+ *            this library). Aborts so a debugger or core dump can inspect it.
+ * fatal()  - the simulation cannot continue due to a user error (bad
+ *            configuration, invalid arguments). Exits with an error code.
+ * warn()   - something works, but not as well as it should.
+ * inform() - plain status output.
+ */
+
+#ifndef FP_COMMON_LOGGING_HH
+#define FP_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fp::common {
+
+/** Thrown by panic()/fatal() so tests can observe failures without dying. */
+class SimError : public std::runtime_error
+{
+  public:
+    enum class Kind { Panic, Fatal };
+
+    SimError(Kind kind, const std::string &message)
+        : std::runtime_error(message), _kind(kind)
+    {}
+
+    Kind kind() const { return _kind; }
+
+  private:
+    Kind _kind;
+};
+
+namespace detail {
+
+/** Fold any streamable argument pack into a single string. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &message);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &message);
+void warnImpl(const std::string &message);
+void informImpl(const std::string &message);
+
+} // namespace detail
+
+/**
+ * Control whether panic()/fatal() throw SimError (used by unit tests) or
+ * terminate the process (default for standalone binaries).
+ */
+void setExceptionsEnabled(bool enable);
+bool exceptionsEnabled();
+
+/** Suppress warn()/inform() output (benchmarks want quiet runs). */
+void setQuiet(bool quiet);
+
+} // namespace fp::common
+
+#define fp_panic(...)                                                        \
+    ::fp::common::detail::panicImpl(                                         \
+        __FILE__, __LINE__, ::fp::common::detail::formatMessage(__VA_ARGS__))
+
+#define fp_fatal(...)                                                        \
+    ::fp::common::detail::fatalImpl(                                         \
+        __FILE__, __LINE__, ::fp::common::detail::formatMessage(__VA_ARGS__))
+
+#define fp_warn(...)                                                         \
+    ::fp::common::detail::warnImpl(                                          \
+        ::fp::common::detail::formatMessage(__VA_ARGS__))
+
+#define fp_inform(...)                                                       \
+    ::fp::common::detail::informImpl(                                        \
+        ::fp::common::detail::formatMessage(__VA_ARGS__))
+
+/** Assert a simulator invariant; violation is a bug, so it panics. */
+#define fp_assert(cond, ...)                                                 \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            fp_panic("assertion '" #cond "' failed: ",                       \
+                     ::fp::common::detail::formatMessage(__VA_ARGS__));      \
+        }                                                                    \
+    } while (0)
+
+#endif // FP_COMMON_LOGGING_HH

@@ -1,0 +1,148 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+
+namespace fp::common {
+
+void
+Distribution::sample(double v, std::uint64_t weight)
+{
+    if (_count == 0) {
+        _min = v;
+        _max = v;
+    } else {
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+    _count += weight;
+    _sum += v * weight;
+    _sum_sq += v * v * weight;
+
+    if (v < _lo) {
+        _underflow += weight;
+    } else if (v >= _hi) {
+        _overflow += weight;
+    } else {
+        auto idx = static_cast<std::size_t>((v - _lo) / _bucket_width);
+        idx = std::min(idx, _buckets.size() - 1);
+        _buckets[idx] += weight;
+    }
+}
+
+void
+Distribution::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _underflow = _overflow = _count = 0;
+    _sum = _sum_sq = 0.0;
+    _min = _max = 0.0;
+}
+
+double
+Distribution::variance() const
+{
+    if (_count < 2)
+        return 0.0;
+    double n = static_cast<double>(_count);
+    double m = _sum / n;
+    return std::max(0.0, _sum_sq / n - m * m);
+}
+
+void
+Histogram::sample(double v, std::uint64_t weight)
+{
+    // Bucket i covers [edges[i], edges[i+1]); values below edges[0] are
+    // clamped into bucket 0; the final bucket is unbounded above.
+    std::size_t idx = 0;
+    auto it = std::upper_bound(_edges.begin(), _edges.end(), v);
+    if (it != _edges.begin())
+        idx = static_cast<std::size_t>(it - _edges.begin()) - 1;
+    _counts[idx] += weight;
+    _total += weight;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(_counts.begin(), _counts.end(), 0);
+    _total = 0;
+}
+
+void
+StatGroup::registerScalar(const std::string &name, const Scalar *stat,
+                          const std::string &desc)
+{
+    fp_assert(!_scalars.count(name), "duplicate scalar stat: ", name);
+    _scalars[name] = Named{desc, stat};
+}
+
+void
+StatGroup::registerAverage(const std::string &name, const Average *stat,
+                           const std::string &desc)
+{
+    fp_assert(!_averages.count(name), "duplicate average stat: ", name);
+    _averages[name] = Named{desc, stat};
+}
+
+void
+StatGroup::registerDistribution(const std::string &name,
+                                const Distribution *stat,
+                                const std::string &desc)
+{
+    fp_assert(!_distributions.count(name),
+              "duplicate distribution stat: ", name);
+    _distributions[name] = Named{desc, stat};
+}
+
+double
+StatGroup::scalarValue(const std::string &name) const
+{
+    auto it = _scalars.find(name);
+    fp_assert(it != _scalars.end(), "unknown scalar stat: ", _name, ".",
+              name);
+    return static_cast<const Scalar *>(it->second.stat)->value();
+}
+
+double
+StatGroup::averageValue(const std::string &name) const
+{
+    auto it = _averages.find(name);
+    fp_assert(it != _averages.end(), "unknown average stat: ", _name, ".",
+              name);
+    return static_cast<const Average *>(it->second.stat)->mean();
+}
+
+bool
+StatGroup::hasScalar(const std::string &name) const
+{
+    return _scalars.count(name) > 0;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    auto emit = [&](const std::string &name, double value,
+                    const std::string &desc) {
+        os << std::left << std::setw(44) << (_name + "." + name)
+           << std::right << std::setw(16) << value;
+        if (!desc.empty())
+            os << "  # " << desc;
+        os << '\n';
+    };
+
+    for (const auto &[name, named] : _scalars)
+        emit(name, static_cast<const Scalar *>(named.stat)->value(),
+             named.desc);
+    for (const auto &[name, named] : _averages)
+        emit(name, static_cast<const Average *>(named.stat)->mean(),
+             named.desc);
+    for (const auto &[name, named] : _distributions) {
+        const auto *dist = static_cast<const Distribution *>(named.stat);
+        emit(name + ".mean", dist->mean(), named.desc);
+        emit(name + ".count", static_cast<double>(dist->count()), "");
+    }
+}
+
+} // namespace fp::common

@@ -1,0 +1,66 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace fp::common {
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    fp_assert(!header.empty(), "table header cannot be empty");
+    _header = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    fp_assert(row.size() == _header.size(),
+              "row width ", row.size(), " != header width ", _header.size());
+    _rows.push_back(std::move(row));
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(_header.size());
+    for (std::size_t c = 0; c < _header.size(); ++c)
+        width[c] = _header[c].size();
+    for (const auto &row : _rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        os << "| ";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]))
+               << row[c];
+            os << " | ";
+        }
+        os << '\n';
+    };
+
+    std::size_t total = 1;
+    for (auto w : width)
+        total += w + 3;
+
+    os << '\n' << _title << '\n' << std::string(total, '-') << '\n';
+    print_row(_header);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : _rows)
+        print_row(row);
+    os << std::string(total, '-') << '\n';
+}
+
+} // namespace fp::common

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * ASCII table renderer used by the benchmark harnesses to print paper
+ * figure/table reproductions in a uniform format.
+ */
+
+#ifndef FP_COMMON_TABLE_HH
+#define FP_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fp::common {
+
+/** A simple column-aligned text table with a title and header row. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : _title(std::move(title)) {}
+
+    /** Set the header row (defines the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row; must match the header column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p precision decimal places. */
+    static std::string num(double value, int precision = 2);
+
+    void print(std::ostream &os) const;
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace fp::common
+
+#endif // FP_COMMON_TABLE_HH

@@ -1,0 +1,61 @@
+#include "finepack/config_packet.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace fp::finepack {
+
+ConfigPacketModel::ConfigPacketModel(const FinePackConfig &config,
+                                     const icn::PcieProtocol &protocol)
+    : ConfigPacketModel(config, protocol, Params{})
+{}
+
+ConfigPacketModel::ConfigPacketModel(const FinePackConfig &config,
+                                     const icn::PcieProtocol &protocol,
+                                     Params params)
+    : _config(config), _protocol(protocol), _params(params)
+{
+    _config.validate();
+}
+
+std::uint64_t
+ConfigPacketModel::wireBytes(std::uint64_t num_stores,
+                             std::uint64_t store_bytes) const
+{
+    fp_assert(num_stores > 0, "empty burst");
+    // One configuration packet establishes the shared header state, then
+    // every store is an independent (shortened) TLP: per-store link-level
+    // framing/sequence/CRC plus the residual compressed transaction bytes
+    // and its DW-padded payload.
+    std::uint64_t per_store =
+        _params.per_store_link_bytes + _params.per_store_txn_bytes +
+        common::alignUp(store_bytes, 4);
+    return _params.config_packet_bytes + num_stores * per_store;
+}
+
+std::uint64_t
+ConfigPacketModel::finePackWireBytes(std::uint64_t num_stores,
+                                     std::uint64_t store_bytes) const
+{
+    fp_assert(num_stores > 0, "empty burst");
+    // One outer TLP: full protocol overhead once, then a sub-header plus
+    // raw (1 B aligned) data per store; payload DW-padded at the end.
+    std::uint64_t payload =
+        num_stores * (_config.subheader_bytes + store_bytes);
+    fp_assert(payload <= _config.max_payload,
+              "burst does not fit one FinePack transaction");
+    return _protocol.tlpOverhead() + common::alignUp(payload, 4);
+}
+
+double
+ConfigPacketModel::relativeInefficiency(std::uint64_t num_stores,
+                                        std::uint64_t store_bytes) const
+{
+    double config_bytes =
+        static_cast<double>(wireBytes(num_stores, store_bytes));
+    double finepack_bytes =
+        static_cast<double>(finePackWireBytes(num_stores, store_bytes));
+    return config_bytes / finepack_bytes - 1.0;
+}
+
+} // namespace fp::finepack

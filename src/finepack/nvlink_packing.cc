@@ -1,0 +1,57 @@
+#include "finepack/nvlink_packing.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace fp::finepack {
+
+NvlinkFinePackModel::NvlinkFinePackModel(icn::NvlinkProtocol protocol)
+    : _protocol(std::move(protocol))
+{}
+
+std::uint64_t
+NvlinkFinePackModel::wireBytes(const FinePackTransaction &txn) const
+{
+    fp_assert(!txn.empty(), "empty transaction on the wire");
+    const auto &params = _protocol.params();
+
+    // The FinePack payload (sub-headers + data, 1 B aligned) pads to
+    // whole flits. No byte-enable flit: sub-headers already carry
+    // exact extents. NVLink's max payload bounds each packet, so large
+    // transactions split, each piece paying its own header flit(s).
+    std::uint64_t payload = txn.rawPayloadBytes();
+    std::uint64_t packets =
+        common::divCeil(payload, params.max_payload);
+    std::uint64_t header_bytes =
+        packets * params.header_flits * params.flit_bytes;
+    std::uint64_t data_flit_bytes = 0;
+    std::uint64_t remaining = payload;
+    while (remaining > 0) {
+        std::uint64_t piece =
+            std::min<std::uint64_t>(remaining, params.max_payload);
+        data_flit_bytes +=
+            common::divCeil(piece, params.flit_bytes) *
+            params.flit_bytes;
+        remaining -= piece;
+    }
+    return header_bytes + data_flit_bytes;
+}
+
+std::uint64_t
+NvlinkFinePackModel::rawWireBytes(const FinePackTransaction &txn) const
+{
+    std::uint64_t total = 0;
+    for (const SubPacket &sub : txn.subPackets())
+        total += _protocol.storeWireBytes(txn.baseAddr() + sub.offset,
+                                          sub.length);
+    return total;
+}
+
+double
+NvlinkFinePackModel::packingGain(const FinePackTransaction &txn) const
+{
+    return static_cast<double>(rawWireBytes(txn)) /
+           static_cast<double>(wireBytes(txn));
+}
+
+} // namespace fp::finepack

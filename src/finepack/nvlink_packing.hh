@@ -1,0 +1,60 @@
+/**
+ * @file
+ * FinePack embedded in NVLink (paper Section IV-C, "Applicability
+ * Beyond PCIe").
+ *
+ * NVLink transfers data in 16 B flits with a header flit per packet
+ * and byte enables covering the whole payload, so the FinePack payload
+ * needs a slightly different encoding than the PCIe TLP embedding:
+ * the outer packet keeps its single header flit, the concatenated
+ * sub-headers + data pad to whole flits, and no byte-enable flit is
+ * needed at all because each sub-header already carries an exact
+ * 1 B-aligned offset and length. This model provides the byte
+ * accounting to compare against both raw NVLink stores and the PCIe
+ * embedding.
+ */
+
+#ifndef FP_FINEPACK_NVLINK_PACKING_HH
+#define FP_FINEPACK_NVLINK_PACKING_HH
+
+#include <cstdint>
+
+#include "finepack/transaction.hh"
+#include "interconnect/protocol.hh"
+
+namespace fp::finepack {
+
+/** Byte accounting for FinePack transactions on an NVLink wire. */
+class NvlinkFinePackModel
+{
+  public:
+    explicit NvlinkFinePackModel(icn::NvlinkProtocol protocol =
+                                     icn::NvlinkProtocol());
+
+    const icn::NvlinkProtocol &protocol() const { return _protocol; }
+
+    /**
+     * Wire bytes for one FinePack transaction on NVLink: one header
+     * flit per packet-sized piece plus the flit-padded payload
+     * (sub-headers + data). Transactions larger than the NVLink max
+     * payload split into multiple packets, each paying a header flit.
+     */
+    std::uint64_t wireBytes(const FinePackTransaction &txn) const;
+
+    /**
+     * Wire bytes for the same stores sent as individual NVLink write
+     * packets (header flit + byte-enable flit when partial + padded
+     * data per store).
+     */
+    std::uint64_t rawWireBytes(const FinePackTransaction &txn) const;
+
+    /** rawWireBytes / wireBytes: the packing gain on NVLink. */
+    double packingGain(const FinePackTransaction &txn) const;
+
+  private:
+    icn::NvlinkProtocol _protocol;
+};
+
+} // namespace fp::finepack
+
+#endif // FP_FINEPACK_NVLINK_PACKING_HH

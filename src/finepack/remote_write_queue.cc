@@ -1,0 +1,579 @@
+#include "finepack/remote_write_queue.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace fp::finepack {
+
+const char *
+toString(FlushReason reason)
+{
+    switch (reason) {
+      case FlushReason::window_violation: return "window-violation";
+      case FlushReason::payload_full: return "payload-full";
+      case FlushReason::entries_full: return "entries-full";
+      case FlushReason::release: return "release";
+      case FlushReason::load_conflict: return "load-conflict";
+      case FlushReason::atomic_conflict: return "atomic-conflict";
+    }
+    return "?";
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+QueueEntry::runs() const
+{
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> result;
+    std::uint32_t i = 0;
+    const auto line = static_cast<std::uint32_t>(mask.size());
+    while (i < line) {
+        if (!mask.test(i)) {
+            ++i;
+            continue;
+        }
+        std::uint32_t start = i;
+        while (i < line && mask.test(i))
+            ++i;
+        result.emplace_back(start, i - start);
+    }
+    return result;
+}
+
+std::uint64_t
+QueueEntry::packedCost(const FinePackConfig &config) const
+{
+    std::uint64_t cost = 0;
+    for (const auto &[start, len] : runs()) {
+        (void)start;
+        cost += config.subheader_bytes + len;
+    }
+    return cost;
+}
+
+// ---------------------------------------------------------------------
+// RwqWindow
+// ---------------------------------------------------------------------
+
+RwqWindow::RwqWindow(const FinePackConfig &config,
+                     std::uint32_t entry_budget)
+    : _config(config),
+      _entry_budget(entry_budget),
+      _available_payload(config.max_payload)
+{
+    fp_assert(entry_budget > 0, "window needs at least one entry");
+}
+
+Addr
+RwqWindow::windowLo() const
+{
+    fp_assert(_base_register != invalid_addr, "window is empty");
+    return _base_register << _config.offsetBits();
+}
+
+Addr
+RwqWindow::windowHi() const
+{
+    return windowLo() + _config.addressableRange();
+}
+
+bool
+RwqWindow::covers(const icn::Store &store) const
+{
+    if (_base_register == invalid_addr)
+        return false;
+    return store.begin() >= windowLo() && store.end() <= windowHi();
+}
+
+bool
+RwqWindow::accepts(const icn::Store &store) const
+{
+    if (empty())
+        return true;
+    // Condition (1): the store must fall inside the base+offset window.
+    if (!covers(store))
+        return false;
+    // Condition (2): the store plus one sub-header must fit the
+    // remaining payload budget (conservative estimate).
+    if (store.size + _config.subheader_bytes > _available_payload)
+        return false;
+    // SRAM capacity: a miss needs a free entry.
+    Addr line = common::alignDown(store.addr, _config.entry_bytes);
+    if (!_lookup.count(line) && _entries.size() >= _entry_budget)
+        return false;
+    return true;
+}
+
+void
+RwqWindow::insert(const icn::Store &store)
+{
+    if (_entries.empty()) {
+        // First store of a fresh window: the base address register
+        // takes the store's address right-shifted by the offset width.
+        _base_register = store.addr >> _config.offsetBits();
+        fp_assert(_available_payload == _config.max_payload,
+                  "payload register not reset on empty window");
+    }
+
+    Addr line = common::alignDown(store.addr, _config.entry_bytes);
+    auto offset_in_line = static_cast<std::uint32_t>(store.addr - line);
+
+    auto it = _lookup.find(line);
+    if (it != _lookup.end()) {
+        // Queue hit: OR the byte mask and overwrite the data in place.
+        ++_queue_hits;
+        QueueEntry &entry = _entries[it->second];
+        std::uint64_t cost_before = entry.packedCost(_config);
+
+        for (std::uint32_t i = 0; i < store.size; ++i) {
+            if (entry.mask.test(offset_in_line + i))
+                ++_bytes_elided;
+            entry.mask.set(offset_in_line + i);
+            if (!store.data.empty())
+                entry.data[offset_in_line + i] = store.data[i];
+        }
+        entry.has_data |= !store.data.empty();
+
+        std::uint64_t cost_after = entry.packedCost(_config);
+        // Merging can only keep or reduce the packed cost relative to
+        // the conservative (len + sub-header) estimate already checked.
+        if (cost_after >= cost_before) {
+            std::uint64_t delta = cost_after - cost_before;
+            fp_assert(delta <= _available_payload,
+                      "exact packed cost exceeded the checked budget");
+            _available_payload -= delta;
+        } else {
+            _available_payload += cost_before - cost_after;
+        }
+    } else {
+        // Miss: allocate a fresh entry.
+        fp_assert(_entries.size() < _entry_budget,
+                  "entry allocation without free space");
+        QueueEntry entry;
+        entry.line_addr = line;
+        entry.data.assign(_config.entry_bytes, 0);
+        entry.has_data = !store.data.empty();
+        for (std::uint32_t i = 0; i < store.size; ++i) {
+            entry.mask.set(offset_in_line + i);
+            if (!store.data.empty())
+                entry.data[offset_in_line + i] = store.data[i];
+        }
+        std::uint64_t cost = entry.packedCost(_config);
+        fp_assert(cost <= _available_payload,
+                  "new entry cost exceeded the checked budget");
+        _available_payload -= cost;
+        _lookup[line] = _entries.size();
+        _entries.push_back(std::move(entry));
+    }
+    ++_buffered_stores;
+}
+
+bool
+RwqWindow::conflicts(Addr addr, std::uint32_t size) const
+{
+    if (_entries.empty())
+        return false;
+    Addr line_lo = common::alignDown(addr, _config.entry_bytes);
+    Addr line_hi = common::alignDown(addr + size - 1, _config.entry_bytes);
+    for (Addr line = line_lo; line <= line_hi;
+         line += _config.entry_bytes) {
+        auto it = _lookup.find(line);
+        if (it == _lookup.end())
+            continue;
+        const QueueEntry &entry = _entries[it->second];
+        std::uint32_t lo =
+            addr > line ? static_cast<std::uint32_t>(addr - line) : 0;
+        std::uint32_t hi = static_cast<std::uint32_t>(
+            std::min<Addr>(addr + size - line, _config.entry_bytes));
+        for (std::uint32_t i = lo; i < hi; ++i)
+            if (entry.mask.test(i))
+                return true;
+    }
+    return false;
+}
+
+FlushedPartition
+RwqWindow::take(GpuId dst)
+{
+    FlushedPartition result;
+    result.dst = dst;
+    result.window_base =
+        _base_register == invalid_addr
+            ? 0
+            : (_base_register << _config.offsetBits());
+    result.entries = std::move(_entries);
+    result.packed_store_count = _buffered_stores;
+
+    // Sort entries by address so the packetized sub-packets appear in
+    // ascending offset order (deterministic output).
+    std::sort(result.entries.begin(), result.entries.end(),
+              [](const QueueEntry &a, const QueueEntry &b) {
+                  return a.line_addr < b.line_addr;
+              });
+
+    _entries.clear();
+    _lookup.clear();
+    _base_register = invalid_addr;
+    _available_payload = _config.max_payload;
+    _buffered_stores = 0;
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// RwqPartition
+// ---------------------------------------------------------------------
+
+RwqPartition::RwqPartition(GpuId dst, const FinePackConfig &config)
+    : _dst(dst), _config(config)
+{
+    _config.validate();
+    std::uint32_t budget =
+        config.queue_entries / config.windows_per_partition;
+    for (std::uint32_t w = 0; w < config.windows_per_partition; ++w) {
+        _windows.emplace_back(_config, budget);
+        _lru.push_back(w);
+    }
+}
+
+void
+RwqPartition::touch(std::uint32_t index)
+{
+    auto it = std::find(_lru.begin(), _lru.end(), index);
+    fp_assert(it != _lru.end(), "window missing from LRU order");
+    _lru.erase(it);
+    _lru.push_back(index);
+}
+
+void
+RwqPartition::push(const icn::Store &store,
+                   std::vector<FlushedPartition> &sink)
+{
+    fp_assert(store.dst == _dst, "store routed to wrong partition");
+    fp_assert(!store.is_atomic, "atomics do not enter the write queue");
+    fp_assert(store.size > 0 && store.size <= _config.entry_bytes,
+              "store size out of range: ", store.size);
+    fp_assert(common::alignDown(store.begin(), _config.entry_bytes) ==
+                  common::alignDown(store.end() - 1, _config.entry_bytes),
+              "store crosses a line boundary: addr=", store.addr,
+              " size=", store.size);
+
+    // A store spanning a window-grid boundary cannot live in one
+    // base+offset window: split it at the boundary (at most two pieces,
+    // since stores are line-contained and the range is >= 64 B).
+    const std::uint64_t range = _config.addressableRange();
+    if (common::alignDown(store.begin(), range) !=
+        common::alignDown(store.end() - 1, range)) {
+        Addr split = common::alignDown(store.end() - 1, range);
+        icn::Store head = store;
+        head.size = static_cast<std::uint32_t>(split - store.begin());
+        icn::Store tail = store;
+        tail.addr = split;
+        tail.size = static_cast<std::uint32_t>(store.end() - split);
+        if (!store.data.empty()) {
+            head.data.assign(store.data.begin(),
+                             store.data.begin() + head.size);
+            tail.data.assign(store.data.begin() + head.size,
+                             store.data.end());
+        }
+        pushPiece(head, sink);
+        pushPiece(tail, sink);
+        return;
+    }
+    pushPiece(store, sink);
+}
+
+std::optional<FlushedPartition>
+RwqPartition::push(const icn::Store &store)
+{
+    std::vector<FlushedPartition> sink;
+    push(store, sink);
+    fp_assert(sink.size() <= 1,
+              "split push produced multiple flushes; use the sink API");
+    if (sink.empty())
+        return std::nullopt;
+    return std::move(sink.front());
+}
+
+void
+RwqPartition::pushPiece(const icn::Store &store,
+                        std::vector<FlushedPartition> &sink)
+{
+    ++_stores_pushed;
+    _bytes_pushed += store.size;
+
+    // 1. A window already covering the store's address range?
+    for (std::uint32_t w = 0; w < _windows.size(); ++w) {
+        RwqWindow &window = _windows[w];
+        if (!window.covers(store))
+            continue;
+        if (window.accepts(store)) {
+            window.insert(store);
+        } else {
+            // Payload or entry capacity: flush this window, the store
+            // seeds its replacement.
+            bool payload_bound =
+                store.size + _config.subheader_bytes >
+                window.availablePayload();
+            recordFlush(payload_bound ? FlushReason::payload_full
+                                      : FlushReason::entries_full);
+            sink.push_back(window.take(_dst));
+            window.insert(store);
+        }
+        touch(w);
+        return;
+    }
+
+    // 2. An empty window to open?
+    for (std::uint32_t w = 0; w < _windows.size(); ++w) {
+        if (_windows[w].empty()) {
+            _windows[w].insert(store);
+            touch(w);
+            return;
+        }
+    }
+
+    // 3. All windows open elsewhere: flush the least recently used one
+    //    and seed it with the incoming store.
+    std::uint32_t victim = _lru.front();
+    recordFlush(FlushReason::window_violation);
+    sink.push_back(_windows[victim].take(_dst));
+    _windows[victim].insert(store);
+    touch(victim);
+}
+
+void
+RwqPartition::flush(FlushReason reason,
+                    std::vector<FlushedPartition> &sink)
+{
+    for (std::uint32_t w : _lru) {
+        if (_windows[w].empty())
+            continue;
+        recordFlush(reason);
+        sink.push_back(_windows[w].take(_dst));
+    }
+}
+
+FlushedPartition
+RwqPartition::flush(FlushReason reason)
+{
+    std::vector<FlushedPartition> sink;
+    flush(reason, sink);
+    fp_assert(sink.size() <= 1,
+              "multi-window flush needs the sink API");
+    if (sink.empty())
+        return FlushedPartition{_dst, 0, {}, 0};
+    return std::move(sink.front());
+}
+
+bool
+RwqPartition::flushIfConflict(Addr addr, std::uint32_t size,
+                              FlushReason reason,
+                              std::vector<FlushedPartition> &sink)
+{
+    bool conflict = false;
+    for (const RwqWindow &window : _windows)
+        conflict = conflict || window.conflicts(addr, size);
+    if (!conflict)
+        return false;
+    flush(reason, sink);
+    return true;
+}
+
+std::optional<FlushedPartition>
+RwqPartition::flushIfConflict(Addr addr, std::uint32_t size,
+                              FlushReason reason)
+{
+    std::vector<FlushedPartition> sink;
+    if (!flushIfConflict(addr, size, reason, sink))
+        return std::nullopt;
+    fp_assert(sink.size() <= 1,
+              "multi-window conflict flush needs the sink API");
+    if (sink.empty())
+        return std::nullopt;
+    return std::move(sink.front());
+}
+
+bool
+RwqPartition::empty() const
+{
+    for (const RwqWindow &window : _windows)
+        if (!window.empty())
+            return false;
+    return true;
+}
+
+std::size_t
+RwqPartition::entryCount() const
+{
+    std::size_t total = 0;
+    for (const RwqWindow &window : _windows)
+        total += window.entryCount();
+    return total;
+}
+
+std::uint64_t
+RwqPartition::bufferedStores() const
+{
+    std::uint64_t total = 0;
+    for (const RwqWindow &window : _windows)
+        total += window.bufferedStores();
+    return total;
+}
+
+const RwqWindow &
+RwqPartition::window(std::uint32_t i) const
+{
+    fp_assert(i < _windows.size(), "window index out of range");
+    return _windows[i];
+}
+
+std::uint64_t
+RwqPartition::availablePayload() const
+{
+    fp_assert(_windows.size() == 1,
+              "availablePayload is a single-window accessor");
+    return _windows[0].availablePayload();
+}
+
+Addr
+RwqPartition::baseAddrRegister() const
+{
+    fp_assert(_windows.size() == 1,
+              "baseAddrRegister is a single-window accessor");
+    return _windows[0].baseAddrRegister();
+}
+
+Addr
+RwqPartition::windowLo() const
+{
+    fp_assert(_windows.size() == 1,
+              "windowLo is a single-window accessor");
+    return _windows[0].windowLo();
+}
+
+Addr
+RwqPartition::windowHi() const
+{
+    fp_assert(_windows.size() == 1,
+              "windowHi is a single-window accessor");
+    return _windows[0].windowHi();
+}
+
+std::uint64_t
+RwqPartition::bytesElided() const
+{
+    std::uint64_t total = 0;
+    for (const RwqWindow &window : _windows)
+        total += window.bytesElided();
+    return total;
+}
+
+std::uint64_t
+RwqPartition::queueHits() const
+{
+    std::uint64_t total = 0;
+    for (const RwqWindow &window : _windows)
+        total += window.queueHits();
+    return total;
+}
+
+void
+RwqPartition::recordFlush(FlushReason reason)
+{
+    ++_flush_counts[static_cast<std::size_t>(reason)];
+}
+
+std::uint64_t
+RwqPartition::flushes(FlushReason reason) const
+{
+    return _flush_counts[static_cast<std::size_t>(reason)];
+}
+
+// ---------------------------------------------------------------------
+// RemoteWriteQueue
+// ---------------------------------------------------------------------
+
+RemoteWriteQueue::RemoteWriteQueue(GpuId self, std::uint32_t num_gpus,
+                                   const FinePackConfig &config)
+    : _self(self), _num_gpus(num_gpus), _config(config)
+{
+    fp_assert(self < num_gpus, "bad self GPU id");
+    _partitions.reserve(num_gpus);
+    for (GpuId g = 0; g < num_gpus; ++g)
+        _partitions.emplace_back(g, config);
+}
+
+void
+RemoteWriteQueue::push(const icn::Store &store,
+                       std::vector<FlushedPartition> &sink)
+{
+    fp_assert(store.dst != _self, "store to self reached the write queue");
+    partition(store.dst).push(store, sink);
+}
+
+std::optional<FlushedPartition>
+RemoteWriteQueue::push(const icn::Store &store)
+{
+    fp_assert(store.dst != _self, "store to self reached the write queue");
+    return partition(store.dst).push(store);
+}
+
+FlushedPartition
+RemoteWriteQueue::flush(GpuId dst, FlushReason reason)
+{
+    return partition(dst).flush(reason);
+}
+
+std::vector<FlushedPartition>
+RemoteWriteQueue::flushAll(FlushReason reason)
+{
+    std::vector<FlushedPartition> result;
+    for (GpuId g = 0; g < _num_gpus; ++g) {
+        if (g == _self)
+            continue;
+        _partitions[g].flush(reason, result);
+    }
+    return result;
+}
+
+bool
+RemoteWriteQueue::flushIfConflict(GpuId dst, Addr addr,
+                                  std::uint32_t size, FlushReason reason,
+                                  std::vector<FlushedPartition> &sink)
+{
+    return partition(dst).flushIfConflict(addr, size, reason, sink);
+}
+
+std::optional<FlushedPartition>
+RemoteWriteQueue::flushIfConflict(GpuId dst, Addr addr,
+                                  std::uint32_t size, FlushReason reason)
+{
+    return partition(dst).flushIfConflict(addr, size, reason);
+}
+
+RwqPartition &
+RemoteWriteQueue::partition(GpuId dst)
+{
+    fp_assert(dst < _num_gpus, "bad destination GPU ", dst);
+    fp_assert(dst != _self, "no partition for self");
+    return _partitions[dst];
+}
+
+const RwqPartition &
+RemoteWriteQueue::partition(GpuId dst) const
+{
+    fp_assert(dst < _num_gpus, "bad destination GPU ", dst);
+    fp_assert(dst != _self, "no partition for self");
+    return _partitions[dst];
+}
+
+std::uint64_t
+RemoteWriteQueue::totalSramBytes() const
+{
+    // One partition per peer GPU, each queue_entries lines of
+    // entry_bytes (split across its windows).
+    return static_cast<std::uint64_t>(_num_gpus - 1) *
+           _config.queue_entries * _config.entry_bytes;
+}
+
+} // namespace fp::finepack

@@ -1,0 +1,51 @@
+#include "finepack/transaction.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace fp::finepack {
+
+void
+FinePackTransaction::append(Addr addr, std::uint32_t length,
+                            std::vector<std::uint8_t> data)
+{
+    fp_assert(length > 0, "empty sub-packet");
+    fp_assert(length < (1u << _config.length_bits),
+              "sub-packet length ", length, " exceeds the length field");
+    fp_assert(addr >= _base, "sub-packet address below base");
+    std::uint64_t offset = addr - _base;
+    fp_assert(offset + length <= _config.addressableRange(),
+              "sub-packet beyond the addressable range: offset=", offset,
+              " len=", length);
+    fp_assert(data.empty() || data.size() == length,
+              "sub-packet data size mismatch");
+
+    std::uint64_t cost = _config.subheader_bytes + length;
+    fp_assert(_payload + cost <= _config.max_payload,
+              "outer transaction payload overflow");
+
+    _payload += cost;
+    _data_bytes += length;
+    _subs.push_back(SubPacket{offset, length, std::move(data)});
+}
+
+std::uint64_t
+FinePackTransaction::wirePayloadBytes() const
+{
+    return common::alignUp(_payload, 4);
+}
+
+std::vector<icn::Store>
+FinePackTransaction::unpack() const
+{
+    std::vector<icn::Store> stores;
+    stores.reserve(_subs.size());
+    for (const auto &sub : _subs) {
+        icn::Store store(_base + sub.offset, sub.length, _src, _dst);
+        store.data = sub.data;
+        stores.push_back(std::move(store));
+    }
+    return stores;
+}
+
+} // namespace fp::finepack

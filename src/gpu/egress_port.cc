@@ -1,0 +1,333 @@
+#include "gpu/egress_port.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+
+namespace fp::gpu {
+
+const char *
+toString(EgressMode mode)
+{
+    switch (mode) {
+      case EgressMode::raw_p2p: return "raw-p2p";
+      case EgressMode::finepack: return "finepack";
+      case EgressMode::write_combine: return "write-combine";
+    }
+    return "?";
+}
+
+EgressPort::EgressPort(const std::string &name, common::EventQueue &queue,
+                       GpuId self, std::uint32_t num_gpus, EgressMode mode,
+                       const finepack::FinePackConfig &config,
+                       const icn::PcieProtocol &protocol,
+                       icn::SwitchedFabric &fabric, Tick flush_timeout)
+    : SimObject(name, queue),
+      _self(self),
+      _num_gpus(num_gpus),
+      _mode(mode),
+      _config(config),
+      _protocol(protocol),
+      _fabric(fabric),
+      _flush_timeout(flush_timeout),
+      _last_push(num_gpus, 0),
+      _timeout_armed(num_gpus, false)
+{
+    if (_mode == EgressMode::finepack) {
+        _rwq = std::make_unique<finepack::RemoteWriteQueue>(self, num_gpus,
+                                                            config);
+        _packetizer = std::make_unique<finepack::Packetizer>(self, config);
+    } else if (_mode == EgressMode::write_combine) {
+        _wc.resize(num_gpus);
+        for (GpuId g = 0; g < num_gpus; ++g) {
+            if (g == self)
+                continue;
+            _wc[g] = std::make_unique<finepack::WriteCombineBuffer>(
+                self, g, config.queue_entries, config.entry_bytes);
+        }
+    }
+
+    stats().registerScalar("stores_issued", &_stores_issued,
+                           "remote stores issued by the SMs");
+    stats().registerScalar("messages_sent", &_messages_sent,
+                           "wire messages injected");
+    stats().registerScalar("atomics_sent", &_atomics_sent,
+                           "remote atomics injected (uncoalesced)");
+    stats().registerScalar("stores_folded", &_stores_folded,
+                           "program stores folded into sent messages");
+}
+
+void
+EgressPort::issueStore(const icn::Store &store)
+{
+    fp_assert(store.dst < _num_gpus && store.dst != _self,
+              "bad store destination ", store.dst);
+    fp_assert(store.size > 0, "zero-size store");
+
+    // Split accesses that cross cache-line boundaries; the L1 coalescer
+    // normally guarantees this, but the public API tolerates any store.
+    Addr begin = store.begin();
+    Addr end = store.end();
+    const std::uint32_t line = _config.entry_bytes;
+    while (begin < end) {
+        Addr piece_end =
+            std::min<Addr>(end, common::alignDown(begin, line) + line);
+        icn::Store piece = store;
+        piece.addr = begin;
+        piece.size = static_cast<std::uint32_t>(piece_end - begin);
+        if (!store.data.empty()) {
+            auto off = static_cast<std::size_t>(begin - store.begin());
+            piece.data.assign(store.data.begin() + off,
+                              store.data.begin() + off + piece.size);
+        }
+        if (piece.is_atomic)
+            issueAtomic(piece);
+        else
+            issueAligned(piece);
+        begin = piece_end;
+    }
+}
+
+void
+EgressPort::issueStores(const std::vector<icn::Store> &stores,
+                        std::size_t begin, std::size_t end)
+{
+    fp_assert(begin <= end && end <= stores.size(), "bad batch bounds");
+
+    if (_mode != EgressMode::raw_p2p) {
+        for (std::size_t i = begin; i < end; ++i)
+            issueStore(stores[i]);
+        return;
+    }
+
+    // Raw mode: group the batch by destination; each group's TLPs leave
+    // back-to-back, so one aggregate message per destination carries
+    // the exact sum of their wire bytes.
+    for (GpuId dst = 0; dst < _num_gpus; ++dst) {
+        if (dst == _self)
+            continue;
+        auto msg = std::make_shared<icn::WireMessage>();
+        msg->kind = icn::MessageKind::raw_store;
+        msg->src = _self;
+        msg->dst = dst;
+        for (std::size_t i = begin; i < end; ++i) {
+            const icn::Store &store = stores[i];
+            if (store.dst != dst)
+                continue;
+            if (store.is_atomic) {
+                // Atomics keep their dedicated path.
+                continue;
+            }
+            ++_stores_issued;
+            msg->payload_bytes +=
+                _protocol.payloadOnWire(store.addr, store.size);
+            msg->header_bytes += _protocol.tlpOverhead();
+            msg->data_bytes += store.size;
+            ++msg->packed_store_count;
+            msg->stores.push_back(store);
+        }
+        if (msg->stores.empty())
+            continue;
+        ++_messages_sent;
+        _stores_folded += static_cast<double>(msg->packed_store_count);
+        _fabric.inject(msg);
+    }
+
+    // Atomics issue individually, preserving their order semantics.
+    for (std::size_t i = begin; i < end; ++i)
+        if (stores[i].is_atomic)
+            issueStore(stores[i]);
+}
+
+void
+EgressPort::issueAligned(const icn::Store &store)
+{
+    ++_stores_issued;
+
+    switch (_mode) {
+      case EgressMode::raw_p2p:
+        sendRaw(store, icn::MessageKind::raw_store);
+        break;
+      case EgressMode::finepack: {
+        _flush_scratch.clear();
+        _rwq->push(store, _flush_scratch);
+        for (const auto &flushed : _flush_scratch)
+            if (!flushed.empty())
+                sendFlushed(flushed);
+        if (_flush_timeout > 0) {
+            _last_push[store.dst] = curTick();
+            armTimeout(store.dst);
+        }
+        break;
+      }
+      case EgressMode::write_combine: {
+        auto evicted = _wc[store.dst]->push(store);
+        if (evicted)
+            sendWcLine(store.dst, *evicted);
+        break;
+      }
+    }
+}
+
+void
+EgressPort::issueAtomic(const icn::Store &store)
+{
+    ++_stores_issued;
+    ++_atomics_sent;
+
+    // Remote atomics are not coalesced: any previously-buffered store to
+    // an overlapping address must flush first so same-address ordering
+    // holds, then the atomic travels as its own transaction.
+    if (_mode == EgressMode::finepack) {
+        _flush_scratch.clear();
+        _rwq->flushIfConflict(store.dst, store.addr, store.size,
+                              finepack::FlushReason::atomic_conflict,
+                              _flush_scratch);
+        for (const auto &flushed : _flush_scratch)
+            if (!flushed.empty())
+                sendFlushed(flushed);
+    } else if (_mode == EgressMode::write_combine) {
+        // The WC baseline conservatively flushes everything for this
+        // destination.
+        for (auto &line : _wc[store.dst]->flushAll())
+            sendWcLine(store.dst, line);
+    }
+    sendRaw(store, icn::MessageKind::atomic_op);
+}
+
+void
+EgressPort::releaseFence()
+{
+    switch (_mode) {
+      case EgressMode::raw_p2p:
+        break; // nothing buffered
+      case EgressMode::finepack:
+        for (auto &flushed :
+             _rwq->flushAll(finepack::FlushReason::release)) {
+            sendFlushed(flushed);
+        }
+        break;
+      case EgressMode::write_combine:
+        for (GpuId g = 0; g < _num_gpus; ++g) {
+            if (g == _self)
+                continue;
+            for (auto &line : _wc[g]->flushAll())
+                sendWcLine(g, line);
+        }
+        break;
+    }
+}
+
+void
+EgressPort::notifyRemoteLoad(GpuId dst, Addr addr, std::uint32_t size)
+{
+    fp_assert(dst < _num_gpus && dst != _self, "bad load destination");
+    if (_mode == EgressMode::finepack) {
+        _flush_scratch.clear();
+        _rwq->flushIfConflict(dst, addr, size,
+                              finepack::FlushReason::load_conflict,
+                              _flush_scratch);
+        for (const auto &flushed : _flush_scratch)
+            if (!flushed.empty())
+                sendFlushed(flushed);
+    } else if (_mode == EgressMode::write_combine) {
+        for (auto &line : _wc[dst]->flushAll())
+            sendWcLine(dst, line);
+    }
+}
+
+void
+EgressPort::sendRaw(const icn::Store &store, icn::MessageKind kind)
+{
+    auto msg = std::make_shared<icn::WireMessage>();
+    msg->kind = kind;
+    msg->src = _self;
+    msg->dst = store.dst;
+    msg->payload_bytes = _protocol.payloadOnWire(store.addr, store.size);
+    msg->header_bytes = _protocol.tlpOverhead();
+    msg->data_bytes = store.size;
+    msg->packed_store_count = 1;
+    msg->stores.push_back(store);
+
+    ++_messages_sent;
+    _stores_folded += 1.0;
+    _fabric.inject(msg);
+}
+
+void
+EgressPort::sendFlushed(const finepack::FlushedPartition &flushed)
+{
+    icn::WireMessagePtr msg = _packetizer->toMessage(flushed, _protocol);
+    ++_messages_sent;
+    _stores_folded += static_cast<double>(flushed.packed_store_count);
+    _fabric.inject(msg);
+}
+
+void
+EgressPort::sendWcLine(GpuId dst, const finepack::WcLine &line)
+{
+    icn::WireMessagePtr msg = _wc[dst]->lineToMessage(line, _protocol);
+    ++_messages_sent;
+    _stores_folded += static_cast<double>(line.folded);
+    _fabric.inject(msg);
+}
+
+void
+EgressPort::armTimeout(GpuId dst)
+{
+    if (_timeout_armed[dst])
+        return;
+    _timeout_armed[dst] = true;
+    scheduleIn([this, dst]() { timeoutFired(dst); }, _flush_timeout,
+               common::Event::prio_sync);
+}
+
+void
+EgressPort::timeoutFired(GpuId dst)
+{
+    _timeout_armed[dst] = false;
+    if (_rwq->partition(dst).empty())
+        return;
+
+    Tick idle = curTick() - _last_push[dst];
+    if (idle >= _flush_timeout) {
+        _flush_scratch.clear();
+        _rwq->partition(dst).flush(finepack::FlushReason::release,
+                                   _flush_scratch);
+        for (const auto &flushed : _flush_scratch) {
+            if (!flushed.empty()) {
+                ++_timeout_flushes;
+                sendFlushed(flushed);
+            }
+        }
+        return;
+    }
+    // Pushed again since arming: re-arm for the remaining idle window.
+    _timeout_armed[dst] = true;
+    scheduleIn([this, dst]() { timeoutFired(dst); },
+               _flush_timeout - idle, common::Event::prio_sync);
+}
+
+const finepack::RemoteWriteQueue &
+EgressPort::writeQueue() const
+{
+    fp_assert(_rwq != nullptr, "no write queue in mode ", toString(_mode));
+    return *_rwq;
+}
+
+const finepack::Packetizer &
+EgressPort::packetizer() const
+{
+    fp_assert(_packetizer != nullptr, "no packetizer in mode ",
+              toString(_mode));
+    return *_packetizer;
+}
+
+double
+EgressPort::avgStoresPerMessage() const
+{
+    double messages = _messages_sent.value();
+    return messages > 0.0 ? _stores_folded.value() / messages : 0.0;
+}
+
+} // namespace fp::gpu

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The GPU's network egress port.
+ *
+ * Depending on the configured mode, remote stores leave the GPU as
+ * individual TLPs (the P2P-store baseline), through the FinePack remote
+ * write queue + packetizer (Figure 7), or through a cacheline
+ * write-combining buffer (the GPS-style baseline). The port also
+ * implements the memory-model hooks: system-scoped releases flush
+ * everything, remote atomics and conflicting remote loads flush the
+ * affected partition before proceeding.
+ */
+
+#ifndef FP_GPU_EGRESS_PORT_HH
+#define FP_GPU_EGRESS_PORT_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/sim_object.hh"
+#include "finepack/packetizer.hh"
+#include "finepack/remote_write_queue.hh"
+#include "finepack/write_combine.hh"
+#include "interconnect/topology.hh"
+
+namespace fp::gpu {
+
+/** How remote stores are transferred out of this GPU. */
+enum class EgressMode : std::uint8_t {
+    raw_p2p,        ///< one TLP per L1-egress store
+    finepack,       ///< remote write queue + packetizer
+    write_combine,  ///< cacheline-granularity write combining
+};
+
+const char *toString(EgressMode mode);
+
+/** The egress-side network interface of one GPU. */
+class EgressPort : public common::SimObject
+{
+  public:
+    /**
+     * @param flush_timeout  Optional inactivity timeout (in ticks)
+     *        after which a non-empty FinePack partition flushes even
+     *        without a synchronization or capacity trigger. The paper
+     *        discusses but does not enable this (Section IV-B); 0
+     *        disables it, matching the paper's configuration.
+     */
+    EgressPort(const std::string &name, common::EventQueue &queue,
+               GpuId self, std::uint32_t num_gpus, EgressMode mode,
+               const finepack::FinePackConfig &config,
+               const icn::PcieProtocol &protocol,
+               icn::SwitchedFabric &fabric, Tick flush_timeout = 0);
+
+    /**
+     * Issue one remote store at the current tick. Splits accesses that
+     * cross cache-line boundaries; atomics flush the conflicting queue
+     * state and travel as dedicated (uncoalesced) messages.
+     */
+    void issueStore(const icn::Store &store);
+
+    /**
+     * Issue a batch of stores that become visible at the same tick
+     * (one issue event's worth). In raw-P2P mode the batch is grouped
+     * by destination and each group travels as back-to-back TLPs
+     * accounted in a single wire message - byte-exact, and a large
+     * event-count saving for store-heavy workloads. The other modes
+     * push each store through their buffers individually.
+     */
+    void issueStores(const std::vector<icn::Store> &stores,
+                     std::size_t begin, std::size_t end);
+
+    /**
+     * System-scoped release (memory fence or kernel completion): all
+     * buffered state flushes to the interconnect.
+     */
+    void releaseFence();
+
+    /**
+     * A remote load is about to be issued to (dst, addr, size): enforce
+     * same-address load-store ordering by flushing a matching partition.
+     */
+    void notifyRemoteLoad(GpuId dst, Addr addr, std::uint32_t size);
+
+    EgressMode mode() const { return _mode; }
+    GpuId self() const { return _self; }
+
+    /** Accessors for statistics inspection. */
+    const finepack::RemoteWriteQueue &writeQueue() const;
+    const finepack::Packetizer &packetizer() const;
+
+    std::uint64_t storesIssued() const
+    { return static_cast<std::uint64_t>(_stores_issued.value()); }
+    std::uint64_t messagesSent() const
+    { return static_cast<std::uint64_t>(_messages_sent.value()); }
+    std::uint64_t atomicsSent() const
+    { return static_cast<std::uint64_t>(_atomics_sent.value()); }
+    std::uint64_t timeoutFlushes() const
+    { return static_cast<std::uint64_t>(_timeout_flushes.value()); }
+
+    /** Average stores folded per message (Figure 11 for FinePack). */
+    double avgStoresPerMessage() const;
+
+  private:
+    void issueAligned(const icn::Store &store);
+    void issueAtomic(const icn::Store &store);
+    void sendRaw(const icn::Store &store, icn::MessageKind kind);
+    void sendFlushed(const finepack::FlushedPartition &flushed);
+    void sendWcLine(GpuId dst, const finepack::WcLine &line);
+    void armTimeout(GpuId dst);
+    void timeoutFired(GpuId dst);
+
+    GpuId _self;
+    std::uint32_t _num_gpus;
+    EgressMode _mode;
+    finepack::FinePackConfig _config;
+    icn::PcieProtocol _protocol;
+    icn::SwitchedFabric &_fabric;
+
+    std::unique_ptr<finepack::RemoteWriteQueue> _rwq;
+    std::unique_ptr<finepack::Packetizer> _packetizer;
+    /** One write-combine buffer per destination (index = dst). */
+    std::vector<std::unique_ptr<finepack::WriteCombineBuffer>> _wc;
+
+    common::Scalar _stores_issued;
+    common::Scalar _messages_sent;
+    common::Scalar _atomics_sent;
+    common::Scalar _stores_folded;
+    common::Scalar _timeout_flushes;
+    /** Reused flush buffer for the hot store path. */
+    std::vector<finepack::FlushedPartition> _flush_scratch;
+
+    /** Inactivity-timeout state (finepack mode only). */
+    Tick _flush_timeout;
+    std::vector<Tick> _last_push;     ///< per destination
+    std::vector<bool> _timeout_armed; ///< per destination
+};
+
+} // namespace fp::gpu
+
+#endif // FP_GPU_EGRESS_PORT_HH

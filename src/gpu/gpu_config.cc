@@ -1,0 +1,29 @@
+#include "gpu/gpu_config.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace fp::gpu {
+
+Tick
+GpuConfig::computeTime(double flops, std::uint64_t mem_bytes,
+                       double efficiency) const
+{
+    fp_assert(efficiency > 0.0 && efficiency <= 1.0,
+              "efficiency must be in (0, 1]");
+    double compute_ticks = flops / (flopsPerTick() * efficiency);
+    double memory_ticks =
+        static_cast<double>(mem_bytes) / (hbmBytesPerTick() * efficiency);
+    double ticks = std::max(compute_ticks, memory_ticks);
+    return static_cast<Tick>(std::ceil(std::max(ticks, 1.0)));
+}
+
+GpuConfig
+gv100Config()
+{
+    return GpuConfig{};
+}
+
+} // namespace fp::gpu

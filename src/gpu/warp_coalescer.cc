@@ -1,0 +1,81 @@
+#include "gpu/warp_coalescer.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace fp::gpu {
+
+WarpCoalescer::WarpCoalescer(std::uint32_t line_bytes)
+    : _line_bytes(line_bytes)
+{
+    fp_assert(common::isPowerOfTwo(line_bytes),
+              "line size must be a power of two");
+    // Buckets for Figure 4: 1-4, 8, 16, 32, 64, 128 byte egress accesses.
+    _sizes.init({0.0, 5.0, 9.0, 17.0, 33.0, 65.0});
+}
+
+std::size_t
+WarpCoalescer::coalesce(std::vector<LaneAccess> lanes,
+                        std::vector<LaneAccess> &out)
+{
+    if (lanes.empty())
+        return 0;
+
+    _lanes_in += lanes.size();
+
+    std::sort(lanes.begin(), lanes.end(),
+              [](const LaneAccess &a, const LaneAccess &b) {
+                  return a.addr < b.addr;
+              });
+
+    std::size_t produced = 0;
+    Addr cur_begin = lanes.front().addr;
+    Addr cur_end = cur_begin + lanes.front().size;
+
+    auto emit = [&](Addr begin, Addr end) {
+        // Split at cache-line boundaries: one egress access never
+        // crosses a line.
+        while (begin < end) {
+            Addr line_end =
+                common::alignDown(begin, _line_bytes) + _line_bytes;
+            Addr piece_end = std::min(end, line_end);
+            auto size = static_cast<std::uint32_t>(piece_end - begin);
+            out.push_back(LaneAccess{begin, size});
+            _sizes.sample(static_cast<double>(size));
+            ++_accesses_out;
+            ++produced;
+            begin = piece_end;
+        }
+    };
+
+    for (std::size_t i = 1; i < lanes.size(); ++i) {
+        const LaneAccess &lane = lanes[i];
+        fp_assert(lane.size > 0, "zero-size lane access");
+        if (lane.addr <= cur_end) {
+            cur_end = std::max(cur_end, lane.addr + lane.size);
+        } else {
+            emit(cur_begin, cur_end);
+            cur_begin = lane.addr;
+            cur_end = lane.addr + lane.size;
+        }
+    }
+    emit(cur_begin, cur_end);
+    return produced;
+}
+
+std::size_t
+WarpCoalescer::coalesceToStores(std::vector<LaneAccess> lanes, GpuId src,
+                                GpuId dst, std::vector<icn::Store> &out)
+{
+    _scratch.clear();
+    std::size_t produced = coalesce(std::move(lanes), _scratch);
+    // No reserve here: exact-size reserve on every warp defeats the
+    // vector's amortized growth and turns the append quadratic.
+    for (const LaneAccess &access : _scratch)
+        out.emplace_back(access.addr, access.size, src, dst);
+    return produced;
+}
+
+} // namespace fp::gpu

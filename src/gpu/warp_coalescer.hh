@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Intra-warp store coalescing, modeling the GPU SM/L1 behaviour the
+ * paper describes in Section III: per-thread 1-8 B stores issued by one
+ * warp instruction combine into memory accesses of up to one cache line
+ * (128 B) when they exhibit spatial locality; scattered stores egress as
+ * individual small accesses. Remote stores receive no further coalescing
+ * beyond this point in a baseline GPU, which is precisely the gap
+ * FinePack fills.
+ */
+
+#ifndef FP_GPU_WARP_COALESCER_HH
+#define FP_GPU_WARP_COALESCER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "interconnect/store.hh"
+
+namespace fp::gpu {
+
+/** One lane's write within a warp store instruction. */
+struct LaneAccess
+{
+    Addr addr = 0;
+    std::uint32_t size = 0;
+};
+
+/**
+ * Coalesces the lane accesses of one warp store instruction into L1
+ * egress accesses. Accesses merge when they are contiguous or
+ * overlapping and stay within one 128 B cache line.
+ */
+class WarpCoalescer
+{
+  public:
+    explicit WarpCoalescer(std::uint32_t line_bytes = 128);
+
+    /**
+     * Coalesce one warp instruction's lane accesses (any order) into
+     * egress accesses, appending to @p out.
+     * @return the number of egress accesses produced.
+     */
+    std::size_t coalesce(std::vector<LaneAccess> lanes,
+                         std::vector<LaneAccess> &out);
+
+    /** Convenience: coalesce and tag with src/dst as stores. */
+    std::size_t coalesceToStores(std::vector<LaneAccess> lanes, GpuId src,
+                                 GpuId dst,
+                                 std::vector<icn::Store> &out);
+
+    std::uint32_t lineBytes() const { return _line_bytes; }
+
+    /** Distribution of egress access sizes (paper Figure 4 input). */
+    const common::Histogram &sizeHistogram() const { return _sizes; }
+
+    std::uint64_t lanesIn() const { return _lanes_in; }
+    std::uint64_t accessesOut() const { return _accesses_out; }
+
+  private:
+    std::uint32_t _line_bytes;
+    common::Histogram _sizes;
+    std::uint64_t _lanes_in = 0;
+    std::uint64_t _accesses_out = 0;
+    std::vector<LaneAccess> _scratch;
+};
+
+} // namespace fp::gpu
+
+#endif // FP_GPU_WARP_COALESCER_HH

@@ -1,0 +1,145 @@
+#include "interconnect/link.hh"
+
+#include <cmath>
+
+#include "common/bitutil.hh"
+
+namespace fp::icn {
+
+Link::Link(const std::string &name, common::EventQueue &queue,
+           double bytes_per_tick, Tick latency, DeliverFn deliver)
+    : SimObject(name, queue),
+      _bytes_per_tick(bytes_per_tick),
+      _latency(latency),
+      _deliver(std::move(deliver))
+{
+    fp_assert(_bytes_per_tick > 0.0, "link bandwidth must be positive");
+    stats().registerScalar("payload_bytes", &_payload_bytes,
+                           "TLP payload bytes transmitted");
+    stats().registerScalar("header_bytes", &_header_bytes,
+                           "protocol overhead bytes transmitted");
+    stats().registerScalar("data_bytes", &_data_bytes,
+                           "store data bytes inside payloads");
+    stats().registerScalar("messages", &_messages,
+                           "messages transmitted");
+    stats().registerScalar("busy_ticks", &_busy_ticks,
+                           "ticks spent serializing");
+    stats().registerScalar("credit_stalls", &_credit_stalls,
+                           "messages that waited for credits");
+}
+
+void
+Link::setCreditLimit(std::uint64_t bytes)
+{
+    fp_assert(_credits_in_use == 0 && _waiting.empty(),
+              "cannot change the credit limit mid-flight");
+    _credit_limit = bytes;
+}
+
+void
+Link::releaseCredits(std::uint64_t bytes)
+{
+    if (_credit_limit == 0)
+        return;
+    fp_assert(bytes <= _credits_in_use,
+              "credit release underflow on ", name());
+    _credits_in_use -= bytes;
+    drainWaiting();
+}
+
+void
+Link::drainWaiting()
+{
+    // FIFO order: only the head may proceed, to preserve PCIe's posted
+    // write ordering.
+    while (!_waiting.empty()) {
+        const auto &[msg, on_transmit] = _waiting.front();
+        if (_credits_in_use + msg->wireBytes() > _credit_limit)
+            break;
+        _credits_in_use += msg->wireBytes();
+        transmit(msg, on_transmit);
+        _waiting.pop_front();
+    }
+}
+
+void
+Link::send(const WireMessagePtr &msg, std::function<void()> on_transmit)
+{
+    fp_assert(msg != nullptr, "null message on link ", name());
+    fp_assert(msg->wireBytes() > 0, "zero-byte message on link ", name());
+
+    if (_credit_limit != 0) {
+        fp_assert(msg->wireBytes() <= _credit_limit,
+                  "message larger than the whole credit budget on ",
+                  name());
+        if (!_waiting.empty() ||
+            _credits_in_use + msg->wireBytes() > _credit_limit) {
+            ++_credit_stalls;
+            _waiting.emplace_back(msg, std::move(on_transmit));
+            return;
+        }
+        _credits_in_use += msg->wireBytes();
+    }
+    transmit(msg, on_transmit);
+}
+
+void
+Link::transmit(const WireMessagePtr &msg,
+               const std::function<void()> &on_transmit)
+{
+    Tick now = curTick();
+    Tick start = std::max(now, _busy_until);
+    auto tx_ticks = static_cast<Tick>(
+        std::ceil(static_cast<double>(msg->wireBytes()) / _bytes_per_tick));
+    tx_ticks = std::max<Tick>(tx_ticks, 1);
+    _busy_until = start + tx_ticks;
+
+    _payload_bytes += static_cast<double>(msg->payload_bytes);
+    _header_bytes += static_cast<double>(msg->header_bytes);
+    _data_bytes += static_cast<double>(msg->data_bytes);
+    ++_messages;
+    _busy_ticks += static_cast<double>(tx_ticks);
+
+    KindStats &kind = _by_kind[static_cast<std::size_t>(msg->kind)];
+    kind.payload_bytes += msg->payload_bytes;
+    kind.header_bytes += msg->header_bytes;
+    kind.data_bytes += msg->data_bytes;
+    ++kind.messages;
+
+    if (on_transmit)
+        on_transmit();
+
+    Tick arrive = _busy_until + _latency;
+    eventQueue().schedule(
+        [this, msg]() {
+            if (_deliver)
+                _deliver(msg);
+        },
+        arrive, common::Event::prio_arrival);
+}
+
+std::uint64_t
+Link::totalWireBytes() const
+{
+    return payloadBytes() + headerBytes();
+}
+
+const Link::KindStats &
+Link::kindStats(MessageKind kind) const
+{
+    return _by_kind[static_cast<std::size_t>(kind)];
+}
+
+void
+Link::resetStats()
+{
+    _payload_bytes.reset();
+    _header_bytes.reset();
+    _data_bytes.reset();
+    _messages.reset();
+    _busy_ticks.reset();
+    _credit_stalls.reset();
+    _by_kind.fill(KindStats{});
+}
+
+} // namespace fp::icn

@@ -1,0 +1,154 @@
+#include "interconnect/protocol.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "interconnect/message.hh"
+
+namespace fp::icn {
+
+const char *
+toString(PcieGen gen)
+{
+    switch (gen) {
+      case PcieGen::gen3: return "PCIe 3.0";
+      case PcieGen::gen4: return "PCIe 4.0";
+      case PcieGen::gen5: return "PCIe 5.0";
+      case PcieGen::gen6: return "PCIe 6.0";
+    }
+    return "PCIe ?";
+}
+
+std::uint64_t
+pcieBandwidthBytesPerSec(PcieGen gen)
+{
+    // Effective x16 per-direction data bandwidth, matching the paper's
+    // "32 GB/s for PCIe 4.0 to 128 GB/s for PCIe 6.0".
+    constexpr std::uint64_t GB = 1000ull * 1000 * 1000;
+    switch (gen) {
+      case PcieGen::gen3: return 16 * GB;
+      case PcieGen::gen4: return 32 * GB;
+      case PcieGen::gen5: return 64 * GB;
+      case PcieGen::gen6: return 128 * GB;
+    }
+    fp_panic("unknown PCIe generation");
+}
+
+PcieProtocol::PcieProtocol(PcieGen gen) : PcieProtocol(gen, Params{}) {}
+
+PcieProtocol::PcieProtocol(PcieGen gen, Params params)
+    : _gen(gen), _params(params), _bandwidth(pcieBandwidthBytesPerSec(gen))
+{
+    fp_assert(common::isPowerOfTwo(_params.payload_align),
+              "payload alignment must be a power of two");
+    fp_assert(_params.max_payload % _params.payload_align == 0,
+              "max payload must be alignment aligned");
+}
+
+std::uint64_t
+PcieProtocol::tlpOverhead() const
+{
+    return _params.framing_bytes + _params.header_bytes +
+           _params.lcrc_bytes + _params.dllp_bytes_per_tlp;
+}
+
+std::uint64_t
+PcieProtocol::payloadOnWire(Addr addr, std::uint64_t size) const
+{
+    if (size == 0)
+        return 0;
+    Addr first = common::alignDown(addr, _params.payload_align);
+    Addr last = common::alignUp(addr + size, _params.payload_align);
+    return last - first;
+}
+
+std::uint64_t
+PcieProtocol::storeWireBytes(Addr addr, std::uint64_t size) const
+{
+    fp_assert(size <= _params.max_payload,
+              "store larger than max TLP payload: ", size);
+    return tlpOverhead() + payloadOnWire(addr, size);
+}
+
+double
+PcieProtocol::goodput(std::uint64_t size) const
+{
+    fp_assert(size > 0, "goodput of zero-size transfer");
+    std::uint64_t wire = 0;
+    std::uint64_t remaining = size;
+    Addr addr = 0;
+    while (remaining > 0) {
+        std::uint64_t chunk = std::min<std::uint64_t>(remaining,
+                                                      _params.max_payload);
+        wire += storeWireBytes(addr, chunk);
+        addr += chunk;
+        remaining -= chunk;
+    }
+    return static_cast<double>(size) / static_cast<double>(wire);
+}
+
+double
+PcieProtocol::bytesPerTick() const
+{
+    return static_cast<double>(_bandwidth) /
+           static_cast<double>(ticks_per_sec);
+}
+
+NvlinkProtocol::NvlinkProtocol() : NvlinkProtocol(Params{}) {}
+
+NvlinkProtocol::NvlinkProtocol(Params params) : _params(params)
+{
+    fp_assert(_params.flit_bytes > 0, "flit size must be non-zero");
+}
+
+bool
+NvlinkProtocol::needsByteEnableFlit(Addr addr, std::uint64_t size) const
+{
+    // A packet can omit the byte-enable flit only when the payload exactly
+    // covers whole flits: flit-aligned start and flit-multiple size.
+    return (addr % _params.flit_bytes) != 0 ||
+           (size % _params.flit_bytes) != 0;
+}
+
+std::uint64_t
+NvlinkProtocol::storeWireBytes(Addr addr, std::uint64_t size) const
+{
+    fp_assert(size <= _params.max_payload,
+              "store larger than max NVLink payload: ", size);
+    std::uint64_t flits = _params.header_flits;
+    if (needsByteEnableFlit(addr, size))
+        flits += 1;
+    flits += common::divCeil(size, _params.flit_bytes);
+    return flits * _params.flit_bytes;
+}
+
+double
+NvlinkProtocol::goodput(std::uint64_t size) const
+{
+    fp_assert(size > 0, "goodput of zero-size transfer");
+    std::uint64_t wire = 0;
+    std::uint64_t remaining = size;
+    Addr addr = 0;
+    while (remaining > 0) {
+        std::uint64_t chunk = std::min<std::uint64_t>(remaining,
+                                                      _params.max_payload);
+        wire += storeWireBytes(addr, chunk);
+        addr += chunk;
+        remaining -= chunk;
+    }
+    return static_cast<double>(size) / static_cast<double>(wire);
+}
+
+const char *
+toString(MessageKind kind)
+{
+    switch (kind) {
+      case MessageKind::raw_store: return "raw-store";
+      case MessageKind::finepack_packet: return "finepack";
+      case MessageKind::dma_chunk: return "dma";
+      case MessageKind::write_combine_line: return "wc-line";
+      case MessageKind::atomic_op: return "atomic";
+    }
+    return "?";
+}
+
+} // namespace fp::icn

@@ -1,0 +1,334 @@
+#include "sim/driver.hh"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "baselines/gps_model.hh"
+#include "common/logging.hh"
+#include "gpu/dma_engine.hh"
+#include "gpu/egress_port.hh"
+#include "gpu/ingress_port.hh"
+#include "interconnect/topology.hh"
+
+namespace fp::sim {
+
+const char *
+toString(Paradigm paradigm)
+{
+    switch (paradigm) {
+      case Paradigm::single_gpu: return "single-gpu";
+      case Paradigm::bulk_dma: return "bulk-dma";
+      case Paradigm::p2p_stores: return "p2p-stores";
+      case Paradigm::finepack: return "finepack";
+      case Paradigm::write_combine: return "write-combine";
+      case Paradigm::gps: return "gps";
+      case Paradigm::infinite_bw: return "infinite-bw";
+    }
+    return "?";
+}
+
+const std::vector<Paradigm> &
+figure9Paradigms()
+{
+    static const std::vector<Paradigm> list = {
+        Paradigm::p2p_stores,
+        Paradigm::bulk_dma,
+        Paradigm::finepack,
+        Paradigm::infinite_bw,
+    };
+    return list;
+}
+
+SimConfig::SimConfig() : gpu(gpu::gv100Config()),
+                         finepack(finepack::defaultConfig())
+{}
+
+SimulationDriver::SimulationDriver(SimConfig config)
+    : _config(std::move(config))
+{
+    _config.finepack.validate();
+}
+
+RunResult
+SimulationDriver::run(const trace::WorkloadTrace &trace, Paradigm paradigm)
+{
+    fp_assert(trace.num_gpus >= 1, "trace has no GPUs");
+    if (paradigm == Paradigm::single_gpu ||
+        paradigm == Paradigm::infinite_bw) {
+        return runAnalytic(trace, paradigm);
+    }
+    return runEventDriven(trace, paradigm);
+}
+
+double
+SimulationDriver::speedupOverSingleGpu(const trace::WorkloadTrace &trace,
+                                       Paradigm paradigm)
+{
+    RunResult baseline = run(trace, Paradigm::single_gpu);
+    RunResult result = run(trace, paradigm);
+    fp_assert(result.total_time > 0, "zero runtime");
+    return static_cast<double>(baseline.total_time) /
+           static_cast<double>(result.total_time);
+}
+
+RunResult
+SimulationDriver::runAnalytic(const trace::WorkloadTrace &trace,
+                              Paradigm paradigm) const
+{
+    RunResult result;
+    result.paradigm = paradigm;
+
+    const gpu::GpuConfig &cfg = _config.gpu;
+    Tick total = 0;
+
+    if (paradigm == Paradigm::single_gpu) {
+        // The whole problem on one device: per iteration, one kernel
+        // executing the combined work with no communication.
+        for (const auto &[flops, bytes] : trace.single_gpu_work) {
+            total += cfg.kernel_launch_overhead;
+            total += cfg.computeTime(flops, bytes,
+                                     _config.compute_efficiency);
+        }
+    } else {
+        // Infinite bandwidth: all transfer time, API overhead, and
+        // packing work elided - only compute, launch, and the
+        // iteration barrier remain. This is the paper's "maximum
+        // achievable" opportunity bound, so no paradigm can beat it.
+        for (const auto &iter : trace.iterations) {
+            Tick slowest = 0;
+            for (const auto &work : iter.per_gpu) {
+                Tick t = cfg.computeTime(work.flops, work.local_bytes,
+                                         _config.compute_efficiency);
+                slowest = std::max(slowest, t);
+            }
+            total += cfg.kernel_launch_overhead + slowest +
+                     cfg.barrier_overhead;
+        }
+    }
+
+    result.total_time = total;
+    return result;
+}
+
+namespace {
+
+/** Everything alive during one event-driven run. */
+struct SimSystem
+{
+    common::EventQueue queue;
+    std::unique_ptr<icn::SwitchedFabric> fabric;
+    std::vector<std::unique_ptr<gpu::EgressPort>> egress;
+    std::vector<std::unique_ptr<gpu::IngressPort>> ingress;
+    std::vector<std::unique_ptr<gpu::DmaEngine>> dma;
+};
+
+gpu::EgressMode
+egressModeFor(Paradigm paradigm)
+{
+    switch (paradigm) {
+      case Paradigm::p2p_stores: return gpu::EgressMode::raw_p2p;
+      case Paradigm::finepack: return gpu::EgressMode::finepack;
+      case Paradigm::write_combine:
+      case Paradigm::gps: return gpu::EgressMode::write_combine;
+      default: break;
+    }
+    fp_panic("paradigm has no egress mode: ", toString(paradigm));
+}
+
+} // namespace
+
+RunResult
+SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
+                                 Paradigm paradigm)
+{
+    RunResult result;
+    result.paradigm = paradigm;
+
+    const std::uint32_t gpus = trace.num_gpus;
+    const gpu::GpuConfig &cfg = _config.gpu;
+    const bool is_dma = paradigm == Paradigm::bulk_dma;
+    const bool is_gps = paradigm == Paradigm::gps;
+    icn::PcieProtocol protocol(_config.pcie_gen);
+
+    SimSystem sys;
+    sys.fabric = std::make_unique<icn::SwitchedFabric>(
+        "fabric", sys.queue, gpus,
+        icn::FabricParams::forPcie(_config.pcie_gen));
+
+    for (GpuId g = 0; g < gpus; ++g) {
+        sys.ingress.push_back(std::make_unique<gpu::IngressPort>(
+            "gpu" + std::to_string(g) + ".ingress", sys.queue, g, cfg));
+        gpu::IngressPort *port = sys.ingress.back().get();
+        sys.fabric->setIngressHandler(
+            g, [port](const icn::WireMessagePtr &msg) {
+                port->receive(msg);
+            });
+
+        if (is_dma) {
+            sys.dma.push_back(std::make_unique<gpu::DmaEngine>(
+                "gpu" + std::to_string(g) + ".dma", sys.queue, g, cfg,
+                protocol, *sys.fabric));
+        } else {
+            sys.egress.push_back(std::make_unique<gpu::EgressPort>(
+                "gpu" + std::to_string(g) + ".egress", sys.queue, g,
+                gpus, egressModeFor(paradigm), _config.finepack,
+                protocol, *sys.fabric,
+                _config.finepack_flush_timeout));
+        }
+    }
+
+    baselines::GpsModel gps_model(_config.gps_page_bytes);
+
+    Tick t = 0;
+    for (const auto &iter : trace.iterations) {
+        if (is_gps)
+            gps_model.beginIteration(iter);
+
+        Tick latest_compute_end = 0;
+        for (GpuId g = 0; g < gpus; ++g) {
+            const auto &work = iter.per_gpu[g];
+            Tick kernel_start = t + cfg.kernel_launch_overhead;
+            std::uint64_t local = work.local_bytes;
+            if (is_dma)
+                local += work.dma_extra_local_bytes;
+            Tick compute =
+                cfg.computeTime(work.flops, local,
+                                _config.compute_efficiency);
+            Tick compute_end = kernel_start + compute;
+            latest_compute_end =
+                std::max(latest_compute_end, compute_end);
+
+            if (is_dma) {
+                // Bulk-synchronous copies after the kernel completes.
+                gpu::DmaEngine *engine = sys.dma[g].get();
+                const auto *copies = &work.dma_copies;
+                sys.queue.schedule(
+                    [engine, copies]() {
+                        for (const auto &copy : *copies)
+                            engine->copy(copy.dst, copy.range);
+                    },
+                    compute_end, common::Event::prio_inject);
+                continue;
+            }
+
+            // Store paradigms: stores stream out across the compute
+            // window in fixed-size chunks, then the kernel-end release
+            // flushes all buffered state.
+            gpu::EgressPort *port = sys.egress[g].get();
+            const auto *stores = &work.remote_stores;
+            std::size_t count = stores->size();
+            std::uint32_t chunk = _config.store_chunk;
+            std::size_t chunks = (count + chunk - 1) / chunk;
+            for (std::size_t c = 0; c < chunks; ++c) {
+                std::size_t begin = c * chunk;
+                std::size_t end =
+                    std::min<std::size_t>(begin + chunk, count);
+                // Chunk c completes at the matching fraction of the
+                // compute window.
+                Tick when =
+                    kernel_start +
+                    static_cast<Tick>(
+                        static_cast<double>(compute) *
+                        (static_cast<double>(end) /
+                         static_cast<double>(count)));
+                if (!is_gps) {
+                    sys.queue.schedule(
+                        [port, stores, begin, end]() {
+                            port->issueStores(*stores, begin, end);
+                        },
+                        when, common::Event::prio_inject);
+                } else {
+                    baselines::GpsModel *model = &gps_model;
+                    sys.queue.schedule(
+                        [port, stores, begin, end, model]() {
+                            std::vector<icn::Store> kept;
+                            kept.reserve(end - begin);
+                            for (std::size_t i = begin; i < end; ++i) {
+                                const icn::Store &s = (*stores)[i];
+                                if (model->subscribed(s.dst, s.addr))
+                                    kept.push_back(s);
+                                else
+                                    model->countFiltered();
+                            }
+                            port->issueStores(kept, 0, kept.size());
+                        },
+                        when, common::Event::prio_inject);
+                }
+            }
+            sys.queue.schedule(
+                [port]() { port->releaseFence(); }, compute_end,
+                common::Event::prio_sync);
+        }
+
+        // Run until every message has drained into its destination.
+        // The iteration ends when all kernels and deliveries complete;
+        // bookkeeping events (e.g. disarmed inactivity timeouts) may
+        // execute later without extending the iteration.
+        sys.queue.run();
+        Tick busy = latest_compute_end;
+        for (const auto &port : sys.ingress)
+            busy = std::max(busy, port->drainedAt());
+        t = busy + cfg.barrier_overhead;
+        // Never schedule the next iteration before already-executed
+        // bookkeeping events (the queue cannot go back in time).
+        t = std::max(t, sys.queue.now());
+    }
+
+    result.total_time = t;
+
+    // ---- Traffic accounting (uplinks see each message once) -----------
+    std::uint64_t fp_padding = 0; // raw/finepack non-data payload bytes
+    for (GpuId g = 0; g < gpus; ++g) {
+        const icn::Link &link = sys.fabric->uplink(g);
+        result.payload_bytes += link.payloadBytes();
+        result.header_bytes += link.headerBytes();
+        result.data_bytes += link.dataBytes();
+        result.messages += link.messageCount();
+        for (auto kind : {icn::MessageKind::raw_store,
+                          icn::MessageKind::finepack_packet,
+                          icn::MessageKind::atomic_op}) {
+            const auto &ks = link.kindStats(kind);
+            fp_padding += ks.payload_bytes - ks.data_bytes;
+        }
+    }
+    result.wire_bytes = result.payload_bytes + result.header_bytes;
+
+    result.useful_bytes = trace::totalUsefulBytes(trace);
+    // Sub-headers, DW padding, and raw-store padding are protocol
+    // overhead; unwritten write-combine line bytes and whole-range DMA
+    // payloads count as transferred data.
+    result.protocol_bytes = result.header_bytes + fp_padding;
+    std::uint64_t transferred_data =
+        result.payload_bytes - fp_padding;
+    result.wasted_bytes =
+        transferred_data > result.useful_bytes
+            ? transferred_data - result.useful_bytes
+            : 0;
+
+    if (paradigm == Paradigm::finepack) {
+        for (const auto &port : sys.egress) {
+            const auto &packetizer = port->packetizer();
+            result.finepack_packets += packetizer.packetsEmitted();
+        }
+        std::uint64_t packed = 0;
+        for (const auto &port : sys.egress) {
+            packed += port->packetizer().storesPacked();
+            result.wc_alone_wire_bytes +=
+                port->packetizer().wcAloneWireBytes();
+            result.wc_line_wire_bytes +=
+                port->packetizer().wcLineWireBytes();
+            result.uncompressed_wire_bytes +=
+                port->packetizer().uncompressedWireBytes();
+        }
+        result.avg_stores_per_packet =
+            result.finepack_packets
+                ? static_cast<double>(packed) /
+                      static_cast<double>(result.finepack_packets)
+                : 0.0;
+    }
+
+    return result;
+}
+
+} // namespace fp::sim

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The simulation driver: runs a workload trace under one communication
+ * paradigm on the simulated multi-GPU system and reports timing plus
+ * the byte-classified traffic breakdown.
+ *
+ * Iteration model (mirroring the paper's bulk-synchronous workloads):
+ * every iteration launches one kernel per GPU; store-based paradigms
+ * stream remote stores across the kernel's compute window and flush at
+ * the kernel-end system-scoped release; the memcpy paradigm issues DMA
+ * copies after its kernel completes. A device-wide barrier ends the
+ * iteration once all traffic has drained.
+ */
+
+#ifndef FP_SIM_DRIVER_HH
+#define FP_SIM_DRIVER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "finepack/config.hh"
+#include "gpu/gpu_config.hh"
+#include "interconnect/protocol.hh"
+#include "sim/paradigm.hh"
+#include "trace/trace.hh"
+
+namespace fp::sim {
+
+/** Static configuration of one simulated system. */
+struct SimConfig
+{
+    gpu::GpuConfig gpu;
+    icn::PcieGen pcie_gen = icn::PcieGen::gen4;
+    finepack::FinePackConfig finepack;
+    /** Remote stores issued per issue event (timing quantum). */
+    std::uint32_t store_chunk = 256;
+    /** Sustained fraction of peak the roofline model assumes. */
+    double compute_efficiency = 0.75;
+    /**
+     * FinePack inactivity-timeout flush in ticks; 0 (the paper's
+     * configuration) disables it. See Section IV-B's discussion.
+     */
+    Tick finepack_flush_timeout = 0;
+    /** GPS subscription granularity (bytes per tracked page). */
+    std::uint64_t gps_page_bytes = 4096;
+
+    SimConfig();
+};
+
+/** The outcome of one (trace, paradigm) simulation. */
+struct RunResult
+{
+    Paradigm paradigm = Paradigm::single_gpu;
+    /** End-to-end simulated time. */
+    Tick total_time = 0;
+
+    // ---- Wire traffic (sum over all GPU uplinks) ----------------------
+    std::uint64_t wire_bytes = 0;    ///< everything on the wire
+    std::uint64_t payload_bytes = 0; ///< TLP payloads
+    std::uint64_t header_bytes = 0;  ///< link/TLP protocol bytes
+    std::uint64_t data_bytes = 0;    ///< store data inside payloads
+    std::uint64_t messages = 0;
+
+    // ---- Figure 10 classification --------------------------------------
+    /** Unique updated-and-read bytes (paradigm-independent oracle). */
+    std::uint64_t useful_bytes = 0;
+    /** Header + sub-header + padding bytes. */
+    std::uint64_t protocol_bytes = 0;
+    /** Transferred data never read or overwritten before reading. */
+    std::uint64_t wasted_bytes = 0;
+
+    // ---- FinePack statistics (Figure 11) -------------------------------
+    double avg_stores_per_packet = 0.0;
+    std::uint64_t finepack_packets = 0;
+    /**
+     * Wire bytes the same coalesced runs would cost as standalone TLPs
+     * ("write combining alone", Section VI-A); only set for the
+     * finepack paradigm.
+     */
+    std::uint64_t wc_alone_wire_bytes = 0;
+    /** The per-line-span interpretation of the same comparison. */
+    std::uint64_t wc_line_wire_bytes = 0;
+    /** Aggregation without address compression (Section VI-A 24%). */
+    std::uint64_t uncompressed_wire_bytes = 0;
+
+    double totalSeconds() const
+    { return static_cast<double>(total_time) /
+          static_cast<double>(ticks_per_sec); }
+};
+
+/** Runs traces under paradigms; reusable across runs. */
+class SimulationDriver
+{
+  public:
+    explicit SimulationDriver(SimConfig config = SimConfig());
+
+    /** Simulate @p trace under @p paradigm. */
+    RunResult run(const trace::WorkloadTrace &trace, Paradigm paradigm);
+
+    /** Convenience: speedup of @p paradigm over the 1-GPU baseline. */
+    double speedupOverSingleGpu(const trace::WorkloadTrace &trace,
+                                Paradigm paradigm);
+
+    const SimConfig &config() const { return _config; }
+
+  private:
+    RunResult runAnalytic(const trace::WorkloadTrace &trace,
+                          Paradigm paradigm) const;
+    RunResult runEventDriven(const trace::WorkloadTrace &trace,
+                             Paradigm paradigm);
+
+    SimConfig _config;
+};
+
+} // namespace fp::sim
+
+#endif // FP_SIM_DRIVER_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The multi-GPU communication paradigms compared in the paper's
+ * evaluation (Figures 9, 10, 13).
+ */
+
+#ifndef FP_SIM_PARADIGM_HH
+#define FP_SIM_PARADIGM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace fp::sim {
+
+enum class Paradigm : std::uint8_t {
+    /** Whole problem on one GPU (the strong-scaling baseline). */
+    single_gpu,
+    /** Bulk-synchronous memcpy at kernel boundaries. */
+    bulk_dma,
+    /** Fine-grained peer-to-peer stores, no FinePack. */
+    p2p_stores,
+    /** Peer-to-peer stores through FinePack. */
+    finepack,
+    /** Cacheline write combining only (Section VI-A comparison). */
+    write_combine,
+    /** GPS: write combining + page subscription (Section VI-B). */
+    gps,
+    /** Infinite inter-GPU bandwidth (the opportunity bound). */
+    infinite_bw,
+};
+
+const char *toString(Paradigm paradigm);
+
+/** The paradigms shown in Figure 9, in plot order. */
+const std::vector<Paradigm> &figure9Paradigms();
+
+} // namespace fp::sim
+
+#endif // FP_SIM_PARADIGM_HH

@@ -1,0 +1,25 @@
+#include "sim/trace_cache.hh"
+
+namespace fp::sim {
+
+TraceCache &
+TraceCache::instance()
+{
+    static TraceCache cache;
+    return cache;
+}
+
+const trace::WorkloadTrace &
+TraceCache::get(const std::string &workload,
+                const workloads::WorkloadParams &params)
+{
+    Key key{workload, params.num_gpus, params.scale, params.seed};
+    auto it = _traces.find(key);
+    if (it == _traces.end()) {
+        auto instance = workloads::createWorkload(workload);
+        it = _traces.emplace(key, instance->generateTrace(params)).first;
+    }
+    return it->second;
+}
+
+} // namespace fp::sim

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * In-process cache of generated workload traces. Trace generation runs
+ * the actual algorithms, so benches that sweep paradigms or FinePack
+ * configurations reuse one trace per (workload, gpus, scale, seed).
+ */
+
+#ifndef FP_SIM_TRACE_CACHE_HH
+#define FP_SIM_TRACE_CACHE_HH
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "trace/trace.hh"
+#include "workloads/workload.hh"
+
+namespace fp::sim {
+
+/** Lazily generates and memoizes workload traces. */
+class TraceCache
+{
+  public:
+    /** The process-wide instance used by the bench harnesses. */
+    static TraceCache &instance();
+
+    /** Get (generating if needed) the trace for a configuration. */
+    const trace::WorkloadTrace &
+    get(const std::string &workload, const workloads::WorkloadParams &params);
+
+    /** Drop all cached traces (frees memory between bench phases). */
+    void clear() { _traces.clear(); }
+
+    std::size_t size() const { return _traces.size(); }
+
+  private:
+    using Key = std::tuple<std::string, std::uint32_t, double,
+                           std::uint64_t>;
+    std::map<Key, trace::WorkloadTrace> _traces;
+};
+
+} // namespace fp::sim
+
+#endif // FP_SIM_TRACE_CACHE_HH

@@ -1,0 +1,50 @@
+#include "trace/store_stream.hh"
+
+#include "common/logging.hh"
+
+namespace fp::trace {
+
+StoreStreamBuilder::StoreStreamBuilder(GpuId src,
+                                       std::vector<icn::Store> &sink,
+                                       gpu::WarpCoalescer &coalescer,
+                                       std::uint32_t warp_size)
+    : _src(src), _sink(sink), _coalescer(coalescer), _warp_size(warp_size)
+{
+    fp_assert(warp_size > 0, "warp size must be non-zero");
+    _pending.reserve(warp_size);
+}
+
+void
+StoreStreamBuilder::laneWrite(GpuId dst, Addr addr, std::uint32_t size)
+{
+    fp_assert(size > 0, "zero-size lane write");
+    if (dst != _pending_dst && !_pending.empty())
+        flushWarp();
+    _pending_dst = dst;
+    _pending.push_back(gpu::LaneAccess{addr, size});
+    if (_pending.size() >= _warp_size)
+        flushWarp();
+}
+
+void
+StoreStreamBuilder::scalarWrite(GpuId dst, Addr addr, std::uint32_t size)
+{
+    flushWarp();
+    _pending_dst = dst;
+    _pending.push_back(gpu::LaneAccess{addr, size});
+    flushWarp();
+}
+
+void
+StoreStreamBuilder::flushWarp()
+{
+    if (_pending.empty())
+        return;
+    _coalescer.coalesceToStores(std::move(_pending), _src, _pending_dst,
+                                _sink);
+    _pending.clear();
+    _pending.reserve(_warp_size);
+    _pending_dst = invalid_gpu;
+}
+
+} // namespace fp::trace

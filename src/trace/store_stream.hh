@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Helper that workloads use to emit remote stores: lane-level writes are
+ * grouped into warp store instructions and run through the L1 warp
+ * coalescer, producing the post-L1 egress store stream the simulator
+ * (and FinePack) actually sees.
+ */
+
+#ifndef FP_TRACE_STORE_STREAM_HH
+#define FP_TRACE_STORE_STREAM_HH
+
+#include <vector>
+
+#include "gpu/warp_coalescer.hh"
+#include "trace/trace.hh"
+
+namespace fp::trace {
+
+/** Builds one GPU's remote store stream for one iteration. */
+class StoreStreamBuilder
+{
+  public:
+    /**
+     * @param src        Issuing GPU.
+     * @param sink       Store vector to append to (a
+     *                   GpuIterationWork::remote_stores).
+     * @param coalescer  Shared warp coalescer (accumulates the Figure 4
+     *                   size histogram across the workload).
+     * @param warp_size  Lanes per warp.
+     */
+    StoreStreamBuilder(GpuId src, std::vector<icn::Store> &sink,
+                       gpu::WarpCoalescer &coalescer,
+                       std::uint32_t warp_size = 32);
+
+    ~StoreStreamBuilder() { flushWarp(); }
+
+    /**
+     * One lane writes @p size bytes at @p addr on GPU @p dst. Lane
+     * writes accumulate into the current warp instruction; once
+     * warp_size lanes (or a destination change) accumulate, the warp
+     * issues through the coalescer.
+     *
+     * Matches GPU execution: a warp's lanes execute the same store
+     * instruction, so only writes of the same logical operation (and
+     * destination) share a warp.
+     */
+    void laneWrite(GpuId dst, Addr addr, std::uint32_t size);
+
+    /**
+     * A scalar store issued by a single lane (e.g. the lane-0 result
+     * store of a warp-per-row reduction): always its own instruction,
+     * never coalesced with neighbours.
+     */
+    void scalarWrite(GpuId dst, Addr addr, std::uint32_t size);
+
+    /** Force the pending warp instruction to issue (kernel boundary). */
+    void flushWarp();
+
+    /** Total egress stores produced so far. */
+    std::size_t storesEmitted() const { return _sink.size(); }
+
+  private:
+    GpuId _src;
+    std::vector<icn::Store> &_sink;
+    gpu::WarpCoalescer &_coalescer;
+    std::uint32_t _warp_size;
+
+    GpuId _pending_dst = invalid_gpu;
+    std::vector<gpu::LaneAccess> _pending;
+};
+
+} // namespace fp::trace
+
+#endif // FP_TRACE_STORE_STREAM_HH

@@ -1,0 +1,307 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace fp::trace {
+
+std::uint64_t
+WorkloadTrace::totalRemoteStores() const
+{
+    std::uint64_t total = 0;
+    for (const auto &iter : iterations)
+        for (const auto &gpu : iter.per_gpu)
+            total += gpu.remote_stores.size();
+    return total;
+}
+
+std::uint64_t
+WorkloadTrace::totalRemoteStoreBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &iter : iterations)
+        for (const auto &gpu : iter.per_gpu)
+            for (const auto &store : gpu.remote_stores)
+                total += store.size;
+    return total;
+}
+
+void
+IntervalSet::add(Addr base, std::uint64_t size)
+{
+    if (size == 0)
+        return;
+    _spans.emplace_back(base, base + size);
+    _dirty = true;
+}
+
+void
+IntervalSet::normalize()
+{
+    if (!_dirty)
+        return;
+    std::sort(_spans.begin(), _spans.end());
+    std::vector<std::pair<Addr, Addr>> merged;
+    for (const auto &span : _spans) {
+        if (!merged.empty() && span.first <= merged.back().second) {
+            merged.back().second =
+                std::max(merged.back().second, span.second);
+        } else {
+            merged.push_back(span);
+        }
+    }
+    _spans = std::move(merged);
+    _dirty = false;
+}
+
+std::uint64_t
+IntervalSet::totalBytes()
+{
+    normalize();
+    std::uint64_t total = 0;
+    for (const auto &[begin, end] : _spans)
+        total += end - begin;
+    return total;
+}
+
+std::uint64_t
+IntervalSet::intersectBytes(IntervalSet &other)
+{
+    normalize();
+    other.normalize();
+    std::uint64_t total = 0;
+    std::size_t i = 0, j = 0;
+    while (i < _spans.size() && j < other._spans.size()) {
+        Addr lo = std::max(_spans[i].first, other._spans[j].first);
+        Addr hi = std::min(_spans[i].second, other._spans[j].second);
+        if (lo < hi)
+            total += hi - lo;
+        if (_spans[i].second < other._spans[j].second)
+            ++i;
+        else
+            ++j;
+    }
+    return total;
+}
+
+std::size_t
+IntervalSet::intervalCount()
+{
+    normalize();
+    return _spans.size();
+}
+
+bool
+IntervalSet::contains(Addr addr)
+{
+    normalize();
+    auto it = std::upper_bound(
+        _spans.begin(), _spans.end(), addr,
+        [](Addr a, const std::pair<Addr, Addr> &span) {
+            return a < span.first;
+        });
+    if (it == _spans.begin())
+        return false;
+    --it;
+    return addr >= it->first && addr < it->second;
+}
+
+const std::vector<std::pair<Addr, Addr>> &
+IntervalSet::intervals()
+{
+    normalize();
+    return _spans;
+}
+
+UpdateSummary
+summarizeUpdates(const IterationWork &iter, GpuId dst)
+{
+    IntervalSet updated;
+    for (const auto &gpu : iter.per_gpu)
+        for (const auto &store : gpu.remote_stores)
+            if (store.dst == dst)
+                updated.add(store.addr, store.size);
+
+    IntervalSet consumed;
+    if (dst < iter.consumed.size())
+        for (const auto &range : iter.consumed[dst])
+            consumed.add(range);
+
+    UpdateSummary summary;
+    summary.unique_bytes = updated.totalBytes();
+    summary.useful_bytes = updated.intersectBytes(consumed);
+    return summary;
+}
+
+std::uint64_t
+totalUsefulBytes(const WorkloadTrace &trace)
+{
+    std::uint64_t total = 0;
+    for (const auto &iter : trace.iterations)
+        for (GpuId g = 0; g < trace.num_gpus; ++g)
+            total += summarizeUpdates(iter, g).useful_bytes;
+    return total;
+}
+
+std::uint64_t
+totalUniqueBytes(const WorkloadTrace &trace)
+{
+    std::uint64_t total = 0;
+    for (const auto &iter : trace.iterations)
+        for (GpuId g = 0; g < trace.num_gpus; ++g)
+            total += summarizeUpdates(iter, g).unique_bytes;
+    return total;
+}
+
+namespace {
+
+constexpr std::uint64_t trace_magic = 0x46504b5452414345ull; // "FPKTRACE"
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    T value{};
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+    fp_assert(static_cast<bool>(is), "truncated trace stream");
+    return value;
+}
+
+void
+writeString(std::ostream &os, const std::string &s)
+{
+    writePod<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+readString(std::istream &is)
+{
+    auto len = readPod<std::uint32_t>(is);
+    std::string s(len, '\0');
+    is.read(s.data(), len);
+    fp_assert(static_cast<bool>(is), "truncated trace stream");
+    return s;
+}
+
+} // namespace
+
+void
+writeTrace(const WorkloadTrace &trace, std::ostream &os)
+{
+    writePod(os, trace_magic);
+    writeString(os, trace.workload);
+    writeString(os, trace.comm_pattern);
+    writePod(os, trace.num_gpus);
+    writePod<std::uint32_t>(os, trace.numIterations());
+
+    for (const auto &iter : trace.iterations) {
+        writePod<std::uint32_t>(os, iter.numGpus());
+        for (const auto &gpu : iter.per_gpu) {
+            writePod(os, gpu.flops);
+            writePod(os, gpu.local_bytes);
+            writePod(os, gpu.dma_extra_local_bytes);
+            writePod<std::uint64_t>(os, gpu.remote_stores.size());
+            for (const auto &store : gpu.remote_stores) {
+                writePod(os, store.addr);
+                writePod(os, store.size);
+                writePod(os, store.src);
+                writePod(os, store.dst);
+                writePod<std::uint8_t>(os, store.is_atomic ? 1 : 0);
+            }
+            writePod<std::uint64_t>(os, gpu.dma_copies.size());
+            for (const auto &copy : gpu.dma_copies) {
+                writePod(os, copy.dst);
+                writePod(os, copy.range.base);
+                writePod(os, copy.range.size);
+            }
+        }
+        writePod<std::uint32_t>(os,
+                                static_cast<std::uint32_t>(
+                                    iter.consumed.size()));
+        for (const auto &ranges : iter.consumed) {
+            writePod<std::uint64_t>(os, ranges.size());
+            for (const auto &range : ranges) {
+                writePod(os, range.base);
+                writePod(os, range.size);
+            }
+        }
+    }
+
+    writePod<std::uint32_t>(os, static_cast<std::uint32_t>(
+                                    trace.single_gpu_work.size()));
+    for (const auto &[flops, bytes] : trace.single_gpu_work) {
+        writePod(os, flops);
+        writePod(os, bytes);
+    }
+}
+
+WorkloadTrace
+readTrace(std::istream &is)
+{
+    auto magic = readPod<std::uint64_t>(is);
+    fp_assert(magic == trace_magic, "bad trace magic");
+
+    WorkloadTrace trace;
+    trace.workload = readString(is);
+    trace.comm_pattern = readString(is);
+    trace.num_gpus = readPod<std::uint32_t>(is);
+    auto num_iters = readPod<std::uint32_t>(is);
+
+    trace.iterations.resize(num_iters);
+    for (auto &iter : trace.iterations) {
+        auto num_gpus = readPod<std::uint32_t>(is);
+        iter.per_gpu.resize(num_gpus);
+        for (auto &gpu : iter.per_gpu) {
+            gpu.flops = readPod<double>(is);
+            gpu.local_bytes = readPod<std::uint64_t>(is);
+            gpu.dma_extra_local_bytes = readPod<std::uint64_t>(is);
+            auto num_stores = readPod<std::uint64_t>(is);
+            gpu.remote_stores.resize(num_stores);
+            for (auto &store : gpu.remote_stores) {
+                store.addr = readPod<Addr>(is);
+                store.size = readPod<std::uint32_t>(is);
+                store.src = readPod<GpuId>(is);
+                store.dst = readPod<GpuId>(is);
+                store.is_atomic = readPod<std::uint8_t>(is) != 0;
+            }
+            auto num_copies = readPod<std::uint64_t>(is);
+            gpu.dma_copies.resize(num_copies);
+            for (auto &copy : gpu.dma_copies) {
+                copy.dst = readPod<GpuId>(is);
+                copy.range.base = readPod<Addr>(is);
+                copy.range.size = readPod<std::uint64_t>(is);
+            }
+        }
+        auto num_consumed = readPod<std::uint32_t>(is);
+        iter.consumed.resize(num_consumed);
+        for (auto &ranges : iter.consumed) {
+            auto num_ranges = readPod<std::uint64_t>(is);
+            ranges.resize(num_ranges);
+            for (auto &range : ranges) {
+                range.base = readPod<Addr>(is);
+                range.size = readPod<std::uint64_t>(is);
+            }
+        }
+    }
+
+    auto num_work = readPod<std::uint32_t>(is);
+    trace.single_gpu_work.resize(num_work);
+    for (auto &[flops, bytes] : trace.single_gpu_work) {
+        flops = readPod<double>(is);
+        bytes = readPod<std::uint64_t>(is);
+    }
+    return trace;
+}
+
+} // namespace fp::trace

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Workload traces: the interface between algorithm execution and the
+ * timing simulation.
+ *
+ * A workload run produces one IterationWork per program iteration: for
+ * every GPU, a compute descriptor (flops + local memory traffic), the
+ * ordered stream of remote stores the kernel emits (post L1 coalescing),
+ * and the address ranges a bulk-DMA implementation of the same program
+ * would copy. Per-destination consumption ranges provide the oracle for
+ * classifying delivered bytes as useful or wasted (paper Figure 10).
+ */
+
+#ifndef FP_TRACE_TRACE_HH
+#define FP_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "interconnect/store.hh"
+
+namespace fp::trace {
+
+/** A DMA copy a memcpy-paradigm implementation would perform. */
+struct DmaCopy
+{
+    GpuId dst = invalid_gpu;
+    icn::AddrRange range;
+};
+
+/** One GPU's work within one iteration. */
+struct GpuIterationWork
+{
+    /** Arithmetic operations executed by the kernel. */
+    double flops = 0.0;
+    /** Local (HBM) memory traffic in bytes. */
+    std::uint64_t local_bytes = 0;
+    /** Remote stores in issue order (addresses are destination-local). */
+    std::vector<icn::Store> remote_stores;
+    /** What the bulk-DMA paradigm copies at the kernel boundary. */
+    std::vector<DmaCopy> dma_copies;
+    /**
+     * Extra local memory traffic only the memcpy paradigm pays (halo
+     * packing / unpacking kernels when the communicated data is strided
+     * in memory). Charged by the bulk-DMA and infinite-bandwidth
+     * paradigms, not by the store-based ones.
+     */
+    std::uint64_t dma_extra_local_bytes = 0;
+};
+
+/** One iteration across all GPUs. */
+struct IterationWork
+{
+    std::vector<GpuIterationWork> per_gpu;
+    /**
+     * consumed[g]: destination-local address ranges GPU g actually reads
+     * from its replicas before they are next overwritten.
+     */
+    std::vector<std::vector<icn::AddrRange>> consumed;
+
+    std::uint32_t numGpus() const
+    { return static_cast<std::uint32_t>(per_gpu.size()); }
+};
+
+/** A complete multi-iteration trace plus workload metadata. */
+struct WorkloadTrace
+{
+    std::string workload;
+    std::string comm_pattern;
+    std::uint32_t num_gpus = 0;
+    std::vector<IterationWork> iterations;
+    /**
+     * Reference single-GPU work per iteration (flops, local bytes);
+     * used to compute the strong-scaling baseline.
+     */
+    std::vector<std::pair<double, std::uint64_t>> single_gpu_work;
+
+    std::uint32_t numIterations() const
+    { return static_cast<std::uint32_t>(iterations.size()); }
+
+    /** Totals across all iterations/GPUs. */
+    std::uint64_t totalRemoteStores() const;
+    std::uint64_t totalRemoteStoreBytes() const;
+};
+
+/** Sorted, disjoint interval set over byte addresses. */
+class IntervalSet
+{
+  public:
+    /** Add [base, base+size). */
+    void add(Addr base, std::uint64_t size);
+    void add(const icn::AddrRange &range) { add(range.base, range.size); }
+
+    /** Merge overlapping/touching intervals; idempotent. */
+    void normalize();
+
+    /** Total bytes covered (normalizes first). */
+    std::uint64_t totalBytes();
+
+    /** Bytes covered by both this and @p other. */
+    std::uint64_t intersectBytes(IntervalSet &other);
+
+    /** Number of disjoint intervals after normalization. */
+    std::size_t intervalCount();
+
+    bool contains(Addr addr);
+
+    const std::vector<std::pair<Addr, Addr>> &intervals();
+
+  private:
+    std::vector<std::pair<Addr, Addr>> _spans; // [begin, end)
+    bool _dirty = false;
+};
+
+/**
+ * The information content of one iteration's updates to one GPU:
+ * unique updated bytes and the consumed (useful) subset. Identical for
+ * every transfer paradigm, which is what makes the Figure 10 byte
+ * classification well-defined.
+ */
+struct UpdateSummary
+{
+    std::uint64_t unique_bytes = 0;
+    std::uint64_t useful_bytes = 0;
+};
+
+/** Compute the per-destination update summary of one iteration. */
+UpdateSummary summarizeUpdates(const IterationWork &iter, GpuId dst);
+
+/** Sum of useful bytes over all iterations and destinations. */
+std::uint64_t totalUsefulBytes(const WorkloadTrace &trace);
+
+/** Sum of unique updated bytes over all iterations and destinations. */
+std::uint64_t totalUniqueBytes(const WorkloadTrace &trace);
+
+/** Binary trace serialization (stores only; data payloads dropped). */
+void writeTrace(const WorkloadTrace &trace, std::ostream &os);
+WorkloadTrace readTrace(std::istream &is);
+
+} // namespace fp::trace
+
+#endif // FP_TRACE_TRACE_HH

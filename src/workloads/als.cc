@@ -1,0 +1,275 @@
+#include "workloads/als.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "trace/store_stream.hh"
+#include "trace/trace.hh"
+
+namespace fp::workloads {
+
+namespace {
+
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+float
+AlsWorkload::rating(std::uint64_t e) const
+{
+    double unit = static_cast<double>(mix(e ^ _params.seed) >> 11) *
+                  (1.0 / 9007199254740992.0);
+    return static_cast<float>(1.0 + unit * 4.0); // ratings in [1, 5)
+}
+
+void
+AlsWorkload::setup(const WorkloadParams &params)
+{
+    _params = params;
+    _rng = common::Rng(params.seed);
+
+    auto half = static_cast<std::uint64_t>(32768 * params.scale);
+    half = std::max<std::uint64_t>(half, 2048);
+    _num_users = half;
+    _num_items = half;
+
+    // Rating structure from a geometric graph over the combined id
+    // space: spatially nearby users rate spatially nearby items.
+    Graph geo = makeGeometricGraph(2 * half, 16, params.seed);
+    _edge_user.clear();
+    _edge_item.clear();
+    for (std::uint64_t a = 0; a < geo.num_nodes; ++a) {
+        for (std::uint64_t e = geo.offsets[a]; e < geo.offsets[a + 1];
+             ++e) {
+            std::uint64_t b = geo.targets[e];
+            std::uint64_t user = std::min(a, b) % half;
+            std::uint64_t item = std::max(a, b) % half;
+            // Real rating matrices mix local taste clusters with
+            // popular items rated from everywhere: scramble a third of
+            // the items uniformly.
+            if (mix(a * 131 + b) % 3 == 0)
+                item = mix(item ^ params.seed) % half;
+            _edge_user.push_back(static_cast<std::uint32_t>(user));
+            _edge_item.push_back(static_cast<std::uint32_t>(item));
+        }
+    }
+
+    auto build_csr = [&](const std::vector<std::uint32_t> &keys,
+                         std::uint64_t n,
+                         std::vector<std::uint64_t> &offsets,
+                         std::vector<std::uint32_t> &edge_ids) {
+        offsets.assign(n + 1, 0);
+        for (std::uint32_t k : keys)
+            ++offsets[k + 1];
+        for (std::uint64_t i = 0; i < n; ++i)
+            offsets[i + 1] += offsets[i];
+        edge_ids.resize(keys.size());
+        std::vector<std::uint64_t> cursor(offsets.begin(),
+                                          offsets.end() - 1);
+        for (std::uint32_t e = 0;
+             e < static_cast<std::uint32_t>(keys.size()); ++e)
+            edge_ids[cursor[keys[e]]++] = e;
+    };
+    build_csr(_edge_user, _num_users, _user_offsets, _user_edges);
+    build_csr(_edge_item, _num_items, _item_offsets, _item_edges);
+
+    // Deterministic small initial factors.
+    _x.assign(_num_users * rank, 0.0f);
+    _y.assign(_num_items * rank, 0.0f);
+    for (std::size_t i = 0; i < _x.size(); ++i)
+        _x[i] = static_cast<float>(
+            0.1 + 0.05 * static_cast<double>(mix(i) % 997) / 997.0);
+    for (std::size_t i = 0; i < _y.size(); ++i)
+        _y[i] = static_cast<float>(
+            0.1 + 0.05 * static_cast<double>(mix(i ^ 0xabcdu) % 997) /
+                      997.0);
+
+    // Static consumption sets: GPU dst (updating its items) reads the
+    // user rows adjacent to those items, and vice versa.
+    const std::uint32_t gpus = params.num_gpus;
+    _user_row_readers.assign(gpus, {});
+    _item_row_readers.assign(gpus, {});
+    for (GpuId dst = 0; dst < gpus; ++dst) {
+        trace::IntervalSet user_rows, item_rows;
+        auto [ib, ie] = blockPartition(_num_items, gpus, dst);
+        for (std::uint64_t i = ib; i < ie; ++i)
+            for (std::uint64_t k = _item_offsets[i];
+                 k < _item_offsets[i + 1]; ++k)
+                user_rows.add(user_base +
+                                  static_cast<Addr>(
+                                      _edge_user[_item_edges[k]]) *
+                                      rank * 4,
+                              rank * 4);
+        auto [ub, ue] = blockPartition(_num_users, gpus, dst);
+        for (std::uint64_t u = ub; u < ue; ++u)
+            for (std::uint64_t k = _user_offsets[u];
+                 k < _user_offsets[u + 1]; ++k)
+                item_rows.add(item_base +
+                                  static_cast<Addr>(
+                                      _edge_item[_user_edges[k]]) *
+                                      rank * 4,
+                              rank * 4);
+        for (const auto &[lo, hi] : user_rows.intervals())
+            _user_row_readers[dst].push_back(
+                icn::AddrRange{lo, hi - lo});
+        for (const auto &[lo, hi] : item_rows.intervals())
+            _item_row_readers[dst].push_back(
+                icn::AddrRange{lo, hi - lo});
+    }
+}
+
+void
+AlsWorkload::updateSide(bool users, trace::IterationWork &iter)
+{
+    const std::uint32_t gpus = _params.num_gpus;
+    const float eta = 0.1f;
+    const float lambda = 0.05f;
+
+    std::uint64_t n = users ? _num_users : _num_items;
+    Addr base = users ? user_base : item_base;
+    auto &offsets = users ? _user_offsets : _item_offsets;
+    auto &edge_ids = users ? _user_edges : _item_edges;
+    auto &other_of_edge = users ? _edge_item : _edge_user;
+    auto &mine = users ? _x : _y;
+    auto &other = users ? _y : _x;
+    auto &readers = users ? _user_row_readers : _item_row_readers;
+
+    for (GpuId g = 0; g < gpus; ++g) {
+        auto [begin, end] = blockPartition(n, gpus, g);
+        auto &work = iter.per_gpu[g];
+        trace::StoreStreamBuilder stream(g, work.remote_stores,
+                                         _coalescer);
+
+        std::uint64_t edges = 0;
+        // Rows complete roughly in order with inter-SM jitter.
+        std::vector<std::uint64_t> order(end - begin);
+        for (std::uint64_t r = begin; r < end; ++r)
+            order[r - begin] = r;
+        for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+            std::uint64_t span =
+                std::min<std::uint64_t>(128, order.size() - i);
+            std::swap(order[i], order[i + _rng.below(span)]);
+        }
+
+        // Changed rows push their factor data in warp-sized batches:
+        // each lane stores one row's float4 feature chunk, so remote
+        // accesses are isolated 16 B stores at 64 B strides (SoA-style
+        // vectorized kernel).
+        std::vector<std::uint64_t> push_batch;
+        auto flush_push_batch = [&]() {
+            if (push_batch.empty())
+                return;
+            for (GpuId dst = 0; dst < gpus; ++dst) {
+                if (dst == g)
+                    continue;
+                for (std::uint32_t c = 0; c < rank / 4; ++c) {
+                    for (std::uint64_t row : push_batch) {
+                        Addr row_addr =
+                            base + static_cast<Addr>(row) * rank * 4;
+                        stream.laneWrite(dst, row_addr + c * 16, 16);
+                    }
+                    stream.flushWarp();
+                }
+            }
+            push_batch.clear();
+        };
+
+        for (std::uint64_t row : order) {
+            float *xr = &mine[row * rank];
+            float grad[rank] = {};
+            for (std::uint64_t k = offsets[row]; k < offsets[row + 1];
+                 ++k) {
+                std::uint32_t e = edge_ids[k];
+                const float *yr = &other[other_of_edge[e] * rank];
+                float pred = 0.0f;
+                for (std::uint32_t f = 0; f < rank; ++f)
+                    pred += xr[f] * yr[f];
+                float err = rating(e) - pred;
+                for (std::uint32_t f = 0; f < rank; ++f)
+                    grad[f] += err * yr[f];
+                ++edges;
+            }
+            // Normalize the gradient by the rating count so the step
+            // size is stable regardless of node degree.
+            auto deg = static_cast<float>(
+                std::max<std::uint64_t>(offsets[row + 1] - offsets[row],
+                                        1));
+            float delta_sq = 0.0f, norm_sq = 1e-12f;
+            for (std::uint32_t f = 0; f < rank; ++f) {
+                float step = eta * (grad[f] / deg - lambda * xr[f]);
+                delta_sq += step * step;
+                norm_sq += xr[f] * xr[f];
+                xr[f] += step;
+            }
+
+            // Converged rows are not re-pushed; the kernel stores a row
+            // only when it moved beyond the tolerance.
+            if (delta_sq <= 1e-6f * norm_sq)
+                continue;
+
+            push_batch.push_back(row);
+            if (push_batch.size() >= 32)
+                flush_push_batch();
+        }
+        flush_push_batch();
+
+        work.flops = static_cast<double>(edges) * rank * 4.0 +
+                     static_cast<double>(end - begin) * rank * 3.0;
+        // Each rating touches the partner's factor row plus a random
+        // rating/index access (cache-line granularity).
+        work.local_bytes =
+            edges * (rank * 4 + 64) + (end - begin) * rank * 8;
+
+        // The memcpy twin copies the whole owned factor block to every
+        // peer at the sub-iteration boundary.
+        for (GpuId dst = 0; dst < gpus; ++dst) {
+            if (dst == g)
+                continue;
+            work.dma_copies.push_back(trace::DmaCopy{
+                dst, icn::AddrRange{base + begin * rank * 4,
+                                    (end - begin) * rank * 4}});
+        }
+    }
+
+    // Updated rows are consumed by the peers whose next sub-iteration
+    // reads them (static adjacency-derived sets).
+    for (GpuId dst = 0; dst < gpus; ++dst)
+        iter.consumed[dst] = readers[dst];
+}
+
+trace::IterationWork
+AlsWorkload::runIteration(std::uint32_t it)
+{
+    trace::IterationWork iter;
+    iter.per_gpu.resize(_params.num_gpus);
+    iter.consumed.resize(_params.num_gpus);
+    updateSide(it % 2 == 0, iter);
+    return iter;
+}
+
+double
+AlsWorkload::rmse() const
+{
+    double sum = 0.0;
+    std::uint64_t count = _edge_user.size();
+    for (std::uint64_t e = 0; e < count; ++e) {
+        const float *xr = &_x[_edge_user[e] * rank];
+        const float *yr = &_y[_edge_item[e] * rank];
+        float pred = 0.0f;
+        for (std::uint32_t f = 0; f < rank; ++f)
+            pred += xr[f] * yr[f];
+        double err = static_cast<double>(rating(e)) - pred;
+        sum += err * err;
+    }
+    return count ? std::sqrt(sum / static_cast<double>(count)) : 0.0;
+}
+
+} // namespace fp::workloads

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * ALS (paper Section V): alternating least-squares matrix factorization
+ * on a random-geometric-graph rating structure (rgg-like locality).
+ *
+ * Users and items each hold a rank-16 factor row (64 B). Factor
+ * matrices are replicated across GPUs; sub-iterations alternate between
+ * updating user rows (items fixed) and item rows (users fixed) with a
+ * damped least-squares gradient step. Every updated row is pushed to
+ * every peer (all-to-all pattern) as a 64 B coalesced store.
+ */
+
+#ifndef FP_WORKLOADS_ALS_HH
+#define FP_WORKLOADS_ALS_HH
+
+#include <vector>
+
+#include "workloads/datasets.hh"
+#include "workloads/workload.hh"
+
+namespace fp::workloads {
+
+class AlsWorkload : public Workload
+{
+  public:
+    /** Factor rank: 16 floats = 64 B per row. */
+    static constexpr std::uint32_t rank = 16;
+
+    const char *name() const override { return "als"; }
+    const char *commPattern() const override { return "all-to-all"; }
+
+    void setup(const WorkloadParams &params) override;
+    /** 8 sub-iterations = 4 alternating user/item rounds. */
+    std::uint32_t numIterations() const override { return 8; }
+    trace::IterationWork runIteration(std::uint32_t it) override;
+
+    /** Root-mean-square rating reconstruction error. */
+    double rmse() const;
+
+    /** Rating r(u, i) for rating edge index @p e (procedural). */
+    float rating(std::uint64_t e) const;
+
+    /** Device-local bases of the replicated factor matrices. */
+    static constexpr Addr user_base = 0x40000000;
+    static constexpr Addr item_base = 0x50000000;
+
+    std::uint64_t numUsers() const { return _num_users; }
+    std::uint64_t numItems() const { return _num_items; }
+
+  private:
+    void updateSide(bool users, trace::IterationWork &iter);
+
+    std::uint64_t _num_users = 0;
+    std::uint64_t _num_items = 0;
+    /** Rating edges as parallel arrays (user, item). */
+    std::vector<std::uint32_t> _edge_user, _edge_item;
+    /** CSR over users -> edge ids, and items -> edge ids. */
+    std::vector<std::uint64_t> _user_offsets, _item_offsets;
+    std::vector<std::uint32_t> _user_edges, _item_edges;
+    /** Factor matrices, row-major rank floats per row. */
+    std::vector<float> _x, _y;
+    /**
+     * Static consumption sets: readers_of_user[dst] = merged ranges of
+     * user rows GPU dst reads when updating its items (and vice versa).
+     */
+    std::vector<std::vector<icn::AddrRange>> _user_row_readers;
+    std::vector<std::vector<icn::AddrRange>> _item_row_readers;
+};
+
+} // namespace fp::workloads
+
+#endif // FP_WORKLOADS_ALS_HH

@@ -1,0 +1,180 @@
+#include "workloads/datasets.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace fp::workloads {
+
+namespace {
+
+/** Build CSR from an adjacency list of per-node target vectors. */
+Graph
+buildCsr(std::vector<std::vector<std::uint32_t>> &adjacency)
+{
+    Graph graph;
+    graph.num_nodes = adjacency.size();
+    graph.offsets.reserve(graph.num_nodes + 1);
+    graph.offsets.push_back(0);
+    std::uint64_t total = 0;
+    for (auto &targets : adjacency) {
+        std::sort(targets.begin(), targets.end());
+        targets.erase(std::unique(targets.begin(), targets.end()),
+                      targets.end());
+        total += targets.size();
+        graph.offsets.push_back(total);
+    }
+    graph.targets.reserve(total);
+    for (const auto &targets : adjacency)
+        graph.targets.insert(graph.targets.end(), targets.begin(),
+                             targets.end());
+    return graph;
+}
+
+} // namespace
+
+Graph
+makeBandedGraph(std::uint64_t num_nodes, std::uint32_t degree,
+                std::uint64_t bandwidth, std::uint64_t seed)
+{
+    fp_assert(num_nodes > 1, "graph needs nodes");
+    fp_assert(bandwidth > 0, "bandwidth must be non-zero");
+
+    common::Rng rng(seed);
+    std::vector<std::vector<std::uint32_t>> adjacency(num_nodes);
+    for (std::uint64_t u = 0; u < num_nodes; ++u) {
+        std::uint64_t lo = u > bandwidth ? u - bandwidth : 0;
+        std::uint64_t hi = std::min(num_nodes - 1, u + bandwidth);
+        adjacency[u].reserve(degree);
+        for (std::uint32_t d = 0; d < degree; ++d) {
+            std::uint64_t v = rng.range(lo, hi);
+            if (v != u)
+                adjacency[u].push_back(static_cast<std::uint32_t>(v));
+        }
+    }
+    return buildCsr(adjacency);
+}
+
+Graph
+makeWebGraph(std::uint64_t num_nodes, std::uint64_t community_size,
+             std::uint32_t intra_degree, std::uint32_t inter_degree,
+             std::uint64_t seed)
+{
+    fp_assert(num_nodes > community_size, "graph smaller than community");
+    common::Rng rng(seed);
+    std::vector<std::vector<std::uint32_t>> adjacency(num_nodes);
+
+    // Heavy-tailed hub set: a small fraction of nodes attract a large
+    // share of the long-range links (web-graph in-degree skew).
+    std::uint64_t num_hubs = std::max<std::uint64_t>(num_nodes / 256, 1);
+
+    for (std::uint64_t u = 0; u < num_nodes; ++u) {
+        std::uint64_t community = u / community_size;
+        std::uint64_t c_lo = community * community_size;
+        std::uint64_t c_hi =
+            std::min(num_nodes - 1, c_lo + community_size - 1);
+
+        adjacency[u].reserve(intra_degree + inter_degree);
+        for (std::uint32_t d = 0; d < intra_degree; ++d) {
+            std::uint64_t v = rng.range(c_lo, c_hi);
+            if (v != u)
+                adjacency[u].push_back(static_cast<std::uint32_t>(v));
+        }
+        for (std::uint32_t d = 0; d < inter_degree; ++d) {
+            // Half the long links target hubs, half are uniform.
+            std::uint64_t v = rng.chance(0.5)
+                                  ? rng.below(num_hubs) *
+                                        (num_nodes / num_hubs)
+                                  : rng.below(num_nodes);
+            if (v != u && v < num_nodes)
+                adjacency[u].push_back(static_cast<std::uint32_t>(v));
+        }
+    }
+    return buildCsr(adjacency);
+}
+
+Graph
+makeGeometricGraph(std::uint64_t num_nodes, std::uint32_t degree,
+                   std::uint64_t seed)
+{
+    fp_assert(num_nodes > 1, "graph needs nodes");
+    common::Rng rng(seed);
+
+    // Nodes ordered along a 1-D space-filling sweep: spatial neighbours
+    // have nearby ids (rgg node orderings behave similarly). Connect to
+    // ~degree nearby nodes with geometrically decaying distance.
+    std::vector<std::vector<std::uint32_t>> adjacency(num_nodes);
+    for (std::uint64_t u = 0; u < num_nodes; ++u) {
+        adjacency[u].reserve(degree);
+        for (std::uint32_t d = 0; d < degree; ++d) {
+            // Distance distribution ~ exp: mostly close, some far.
+            double r = rng.uniform();
+            auto dist = static_cast<std::uint64_t>(
+                std::pow(num_nodes / 16.0, r));
+            std::uint64_t v;
+            if (rng.chance(0.5))
+                v = u + dist < num_nodes ? u + dist : u - dist;
+            else
+                v = u >= dist ? u - dist : u + dist;
+            if (v != u && v < num_nodes)
+                adjacency[u].push_back(static_cast<std::uint32_t>(v));
+        }
+    }
+    return buildCsr(adjacency);
+}
+
+namespace {
+
+/** SplitMix64-style mix for procedural coefficients. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+double
+unitValue(std::uint64_t x)
+{
+    return static_cast<double>(mix(x) >> 11) * (1.0 / 9007199254740992.0);
+}
+
+} // namespace
+
+double
+BandedSystem::coeff(std::uint64_t row, std::int64_t band_offset) const
+{
+    fp_assert(band_offset >= -static_cast<std::int64_t>(half_band) &&
+                  band_offset <= static_cast<std::int64_t>(half_band),
+              "band offset out of range");
+    std::int64_t col = static_cast<std::int64_t>(row) + band_offset;
+    if (col < 0 || col >= static_cast<std::int64_t>(n))
+        return 0.0;
+    if (band_offset == 0) {
+        // Diagonal strictly dominates the worst-case off-diagonal sum.
+        return static_cast<double>(2 * half_band + 1);
+    }
+    std::uint64_t key =
+        seed ^ (row * 0x100000001b3ull) ^
+        static_cast<std::uint64_t>(band_offset + 4096);
+    return unitValue(key) * 2.0 - 1.0;
+}
+
+double
+BandedSystem::rhs(std::uint64_t row) const
+{
+    return unitValue(seed ^ mix(row)) * 10.0 - 5.0;
+}
+
+BandedSystem
+makeBandedSystem(std::uint64_t n, std::uint64_t half_band,
+                 std::uint64_t seed)
+{
+    fp_assert(n > 2 * half_band, "system too small for its band");
+    return BandedSystem{n, half_band, seed};
+}
+
+} // namespace fp::workloads

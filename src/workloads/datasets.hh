@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Synthetic dataset generators standing in for the paper's inputs.
+ *
+ * The evaluation datasets (UF sparse collection cage / indochina / rgg)
+ * are substituted by generators of the same structural class, because
+ * the properties FinePack responds to - degree skew, bandedness,
+ * community locality, geometric locality - are what determine the remote
+ * store address streams.
+ */
+
+#ifndef FP_WORKLOADS_DATASETS_HH
+#define FP_WORKLOADS_DATASETS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace fp::workloads {
+
+/** A directed graph in CSR form. */
+struct Graph
+{
+    std::uint64_t num_nodes = 0;
+    /** CSR row offsets, size num_nodes + 1. */
+    std::vector<std::uint64_t> offsets;
+    /** CSR column indices (edge targets). */
+    std::vector<std::uint32_t> targets;
+
+    std::uint64_t numEdges() const { return targets.size(); }
+
+    std::uint64_t outDegree(std::uint64_t node) const
+    { return offsets[node + 1] - offsets[node]; }
+};
+
+/**
+ * A banded graph (cage-matrix-like): node i connects to ~degree random
+ * neighbours within |i - j| <= bandwidth. DNA electrophoresis matrices
+ * such as cage have exactly this banded sparsity.
+ */
+Graph makeBandedGraph(std::uint64_t num_nodes, std::uint32_t degree,
+                      std::uint64_t bandwidth, std::uint64_t seed);
+
+/**
+ * A web-like graph (indochina-like): dense host-local communities plus
+ * sparse long-range hyperlinks, with a heavy-tailed in-degree skew.
+ */
+Graph makeWebGraph(std::uint64_t num_nodes, std::uint64_t community_size,
+                   std::uint32_t intra_degree, std::uint32_t inter_degree,
+                   std::uint64_t seed);
+
+/**
+ * A random geometric graph (rgg-like): nodes on a unit square connect
+ * to spatial neighbours; node ids follow a space-filling order so id
+ * distance correlates with spatial distance.
+ */
+Graph makeGeometricGraph(std::uint64_t num_nodes, std::uint32_t degree,
+                         std::uint64_t seed);
+
+/**
+ * A banded, strictly diagonally dominant linear system A x = b for the
+ * Jacobi solver. Row i has non-zeros in [i - half_band, i + half_band].
+ *
+ * Coefficients are procedural (hash-derived) rather than materialized,
+ * so wide bands cost no memory: off-diagonals lie in [-1, 1] and the
+ * diagonal is 2*half_band + 1, guaranteeing strict dominance and
+ * therefore Jacobi convergence.
+ */
+struct BandedSystem
+{
+    std::uint64_t n = 0;
+    std::uint64_t half_band = 0;
+    std::uint64_t seed = 0;
+
+    /** A(row, row + band_offset); zero outside the matrix. */
+    double coeff(std::uint64_t row, std::int64_t band_offset) const;
+
+    /** Right-hand-side entry b[row]. */
+    double rhs(std::uint64_t row) const;
+};
+
+BandedSystem makeBandedSystem(std::uint64_t n, std::uint64_t half_band,
+                              std::uint64_t seed);
+
+} // namespace fp::workloads
+
+#endif // FP_WORKLOADS_DATASETS_HH

@@ -1,0 +1,128 @@
+#include "workloads/diffusion.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "trace/store_stream.hh"
+
+namespace fp::workloads {
+
+void
+DiffusionWorkload::setup(const WorkloadParams &params)
+{
+    _params = params;
+    auto side = static_cast<std::uint64_t>(
+        1024.0 * std::sqrt(params.scale));
+    side = std::max<std::uint64_t>(side, 128);
+    // Pitch rows to whole cache lines (16 doubles), as cudaMallocPitch
+    // would; halo rows then coalesce into full 128 B accesses.
+    side = (side + 15) / 16 * 16;
+    _nx = side;
+    _ny = side;
+
+    _heat.assign(_nx * _ny, 0.0);
+    _heat_next.assign(_nx * _ny, 0.0);
+    _burgers.assign(_nx * _ny, 0.0);
+    _burgers_next.assign(_nx * _ny, 0.0);
+
+    // A hot square in the middle and a sinusoidal velocity field.
+    for (std::uint64_t y = _ny / 4; y < 3 * _ny / 4; ++y)
+        for (std::uint64_t x = _nx / 4; x < 3 * _nx / 4; ++x)
+            heat(x, y) = 100.0;
+    for (std::uint64_t y = 0; y < _ny; ++y)
+        for (std::uint64_t x = 0; x < _nx; ++x)
+            burgers(x, y) =
+                std::sin(2.0 * M_PI * static_cast<double>(x) /
+                         static_cast<double>(_nx));
+}
+
+trace::IterationWork
+DiffusionWorkload::runIteration(std::uint32_t)
+{
+    const std::uint32_t gpus = _params.num_gpus;
+    const double alpha = 0.2; // heat diffusivity (stable explicit step)
+    const double dt = 0.2;    // Burgers advection step
+
+    trace::IterationWork iter;
+    iter.per_gpu.resize(gpus);
+    iter.consumed.resize(gpus);
+
+    auto idx = [&](std::uint64_t x, std::uint64_t y) {
+        return y * _nx + x;
+    };
+
+    // --- One explicit time step per field, partitioned by rows ---------
+    for (GpuId g = 0; g < gpus; ++g) {
+        auto [row_begin, row_end] = blockPartition(_ny, gpus, g);
+        auto &work = iter.per_gpu[g];
+
+        for (std::uint64_t y = row_begin; y < row_end; ++y) {
+            for (std::uint64_t x = 0; x < _nx; ++x) {
+                double c = _heat[idx(x, y)];
+                double l = x > 0 ? _heat[idx(x - 1, y)] : c;
+                double r = x + 1 < _nx ? _heat[idx(x + 1, y)] : c;
+                double d = y > 0 ? _heat[idx(x, y - 1)] : c;
+                double u = y + 1 < _ny ? _heat[idx(x, y + 1)] : c;
+                _heat_next[idx(x, y)] =
+                    c + alpha * (l + r + d + u - 4.0 * c);
+
+                // Inviscid Burgers, first-order upwind.
+                double bc = _burgers[idx(x, y)];
+                double bl = x > 0 ? _burgers[idx(x - 1, y)] : bc;
+                double br = x + 1 < _nx ? _burgers[idx(x + 1, y)] : bc;
+                double grad = bc >= 0.0 ? bc - bl : br - bc;
+                _burgers_next[idx(x, y)] = bc - dt * bc * grad;
+            }
+        }
+
+        double cells =
+            static_cast<double>((row_end - row_begin) * _nx);
+        work.flops = cells * 2.0 * 12.0; // two fields, ~12 flops each
+        work.local_bytes =
+            static_cast<std::uint64_t>(cells * 2.0 * 6.0 * 8.0);
+    }
+    std::swap(_heat, _heat_next);
+    std::swap(_burgers, _burgers_next);
+
+    // --- Halo rows to neighbours ---------------------------------------
+    for (GpuId g = 0; g < gpus; ++g) {
+        auto [row_begin, row_end] = blockPartition(_ny, gpus, g);
+        auto &work = iter.per_gpu[g];
+        trace::StoreStreamBuilder stream(g, work.remote_stores,
+                                         _coalescer);
+
+        auto push_row = [&](GpuId dst, Addr base, std::uint64_t y) {
+            Addr row_addr = base + y * _nx * 8;
+            for (std::uint64_t x = 0; x < _nx; ++x)
+                stream.laneWrite(dst, row_addr + x * 8, 8);
+            stream.flushWarp();
+
+            icn::AddrRange range{row_addr, _nx * 8};
+            work.dma_copies.push_back(trace::DmaCopy{dst, range});
+            iter.consumed[dst].push_back(range);
+        };
+
+        if (g > 0) {
+            push_row(g - 1, heat_base, row_begin);
+            push_row(g - 1, burgers_base, row_begin);
+        }
+        if (g + 1 < gpus) {
+            push_row(g + 1, heat_base, row_end - 1);
+            push_row(g + 1, burgers_base, row_end - 1);
+        }
+    }
+
+    return iter;
+}
+
+double
+DiffusionWorkload::heatSum() const
+{
+    double sum = 0.0;
+    for (double v : _heat)
+        sum += v;
+    return sum;
+}
+
+} // namespace fp::workloads

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Diffusion (paper Section V, from the Tartan suite): 2-D heat equation
+ * plus the inviscid Burgers equation on a regular grid, partitioned by
+ * rows. Each iteration performs one explicit time step per field and
+ * exchanges one boundary row per neighbour (peer-to-peer pattern); rows
+ * are contiguous in memory, so halo stores coalesce to 128 B.
+ */
+
+#ifndef FP_WORKLOADS_DIFFUSION_HH
+#define FP_WORKLOADS_DIFFUSION_HH
+
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace fp::workloads {
+
+class DiffusionWorkload : public Workload
+{
+  public:
+    const char *name() const override { return "diffusion"; }
+    const char *commPattern() const override { return "peer-to-peer"; }
+
+    void setup(const WorkloadParams &params) override;
+    std::uint32_t numIterations() const override { return 8; }
+    trace::IterationWork runIteration(std::uint32_t it) override;
+
+    /** Sum of the heat field (conserved up to boundary flux). */
+    double heatSum() const;
+
+    /** Device-local base of the replicated heat field. */
+    static constexpr Addr heat_base = 0x40000000;
+    /** Device-local base of the replicated Burgers field. */
+    static constexpr Addr burgers_base = 0x48000000;
+
+    std::uint64_t nx() const { return _nx; }
+    std::uint64_t ny() const { return _ny; }
+
+  private:
+    double &heat(std::uint64_t x, std::uint64_t y)
+    { return _heat[y * _nx + x]; }
+    double &burgers(std::uint64_t x, std::uint64_t y)
+    { return _burgers[y * _nx + x]; }
+
+    std::uint64_t _nx = 0;
+    std::uint64_t _ny = 0;
+    std::vector<double> _heat, _heat_next;
+    std::vector<double> _burgers, _burgers_next;
+};
+
+} // namespace fp::workloads
+
+#endif // FP_WORKLOADS_DIFFUSION_HH

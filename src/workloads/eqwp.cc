@@ -1,0 +1,166 @@
+#include "workloads/eqwp.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "trace/store_stream.hh"
+
+namespace fp::workloads {
+
+void
+EqwpWorkload::setup(const WorkloadParams &params)
+{
+    _params = params;
+    auto base = static_cast<std::uint64_t>(
+        128.0 * std::cbrt(params.scale));
+    _nx = std::max<std::uint64_t>(base, 32);
+    _ny = std::max<std::uint64_t>(base * 5 / 4, 32);
+    _nz = std::max<std::uint64_t>(base * 5 / 4, 32);
+
+    _u.assign(_nx * _ny * _nz, 0.0);
+    _u_prev.assign(_nx * _ny * _nz, 0.0);
+    _u_next.assign(_nx * _ny * _nz, 0.0);
+
+    // A Gaussian source pulse in the domain centre.
+    double cx = static_cast<double>(_nx) / 2.0;
+    double cy = static_cast<double>(_ny) / 2.0;
+    double cz = static_cast<double>(_nz) / 2.0;
+    for (std::uint64_t z = 0; z < _nz; ++z) {
+        for (std::uint64_t y = 0; y < _ny; ++y) {
+            for (std::uint64_t x = 0; x < _nx; ++x) {
+                double dx = static_cast<double>(x) - cx;
+                double dy = static_cast<double>(y) - cy;
+                double dz = static_cast<double>(z) - cz;
+                double r2 = dx * dx + dy * dy + dz * dz;
+                double v = std::exp(-r2 / 64.0);
+                _u[index(x, y, z)] = v;
+                _u_prev[index(x, y, z)] = v;
+            }
+        }
+    }
+}
+
+double
+EqwpWorkload::laplacian4(const std::vector<double> &u, std::uint64_t x,
+                         std::uint64_t y, std::uint64_t z) const
+{
+    // 4th-order central difference weights: -1/12, 4/3, -5/2, 4/3, -1/12
+    constexpr double w2 = -1.0 / 12.0, w1 = 4.0 / 3.0, w0 = -5.0 / 2.0;
+    auto at = [&](std::int64_t ix, std::int64_t iy, std::int64_t iz) {
+        if (ix < 0 || iy < 0 || iz < 0 ||
+            ix >= static_cast<std::int64_t>(_nx) ||
+            iy >= static_cast<std::int64_t>(_ny) ||
+            iz >= static_cast<std::int64_t>(_nz))
+            return 0.0;
+        return u[index(static_cast<std::uint64_t>(ix),
+                       static_cast<std::uint64_t>(iy),
+                       static_cast<std::uint64_t>(iz))];
+    };
+    auto X = static_cast<std::int64_t>(x);
+    auto Y = static_cast<std::int64_t>(y);
+    auto Z = static_cast<std::int64_t>(z);
+
+    double lap = 3.0 * w0 * at(X, Y, Z);
+    lap += w1 * (at(X - 1, Y, Z) + at(X + 1, Y, Z) + at(X, Y - 1, Z) +
+                 at(X, Y + 1, Z) + at(X, Y, Z - 1) + at(X, Y, Z + 1));
+    lap += w2 * (at(X - 2, Y, Z) + at(X + 2, Y, Z) + at(X, Y - 2, Z) +
+                 at(X, Y + 2, Z) + at(X, Y, Z - 2) + at(X, Y, Z + 2));
+    return lap;
+}
+
+trace::IterationWork
+EqwpWorkload::runIteration(std::uint32_t)
+{
+    const std::uint32_t gpus = _params.num_gpus;
+    const double c2dt2 = 0.1; // (c * dt / dx)^2, stable for 4th order
+
+    trace::IterationWork iter;
+    iter.per_gpu.resize(gpus);
+    iter.consumed.resize(gpus);
+
+    // --- One wave-equation time step, partitioned along x --------------
+    for (GpuId g = 0; g < gpus; ++g) {
+        auto [x_begin, x_end] = blockPartition(_nx, gpus, g);
+        auto &work = iter.per_gpu[g];
+
+        for (std::uint64_t z = 0; z < _nz; ++z) {
+            for (std::uint64_t y = 0; y < _ny; ++y) {
+                for (std::uint64_t x = x_begin; x < x_end; ++x) {
+                    std::uint64_t i = index(x, y, z);
+                    _u_next[i] = 2.0 * _u[i] - _u_prev[i] +
+                                 c2dt2 * laplacian4(_u, x, y, z);
+                }
+            }
+        }
+
+        double cells =
+            static_cast<double>((x_end - x_begin) * _ny * _nz);
+        work.flops = cells * 2.0 * 16.0; // 13-point stencil + update
+        // Stencil kernels block well in cache: ~3 effective touches per
+        // cell (two time levels read, one written).
+        work.local_bytes = static_cast<std::uint64_t>(cells * 3.0 * 8.0);
+    }
+    std::swap(_u_prev, _u);
+    std::swap(_u, _u_next);
+
+    // --- Two-deep strided halo planes to each neighbour -----------------
+    for (GpuId g = 0; g < gpus; ++g) {
+        auto [x_begin, x_end] = blockPartition(_nx, gpus, g);
+        auto &work = iter.per_gpu[g];
+        trace::StoreStreamBuilder stream(g, work.remote_stores,
+                                         _coalescer);
+
+        std::uint64_t plane_elems = _ny * _nz;
+        std::uint32_t staging_slot = 0;
+
+        auto push_plane = [&](GpuId dst, std::uint64_t x) {
+            // One thread per (y, z) element: addresses stride nx * 8, so
+            // no intra-warp coalescing happens (isolated 8 B stores).
+            for (std::uint64_t z = 0; z < _nz; ++z) {
+                for (std::uint64_t y = 0; y < _ny; ++y) {
+                    Addr addr = field_base + index(x, y, z) * 8;
+                    stream.laneWrite(dst, addr, 8);
+                    // The neighbour reads each halo element.
+                    iter.consumed[dst].push_back(
+                        icn::AddrRange{addr, 8});
+                }
+            }
+            stream.flushWarp();
+
+            // The memcpy twin packs this plane into a staging buffer at
+            // the destination and unpacks it there (extra local traffic
+            // on both sides).
+            Addr staging = staging_base +
+                           (static_cast<Addr>(g) * 8 + staging_slot) *
+                               plane_elems * 8;
+            ++staging_slot;
+            work.dma_copies.push_back(trace::DmaCopy{
+                dst, icn::AddrRange{staging, plane_elems * 8}});
+            work.dma_extra_local_bytes += plane_elems * 8 * 4;
+        };
+
+        if (g > 0) {
+            push_plane(g - 1, x_begin);
+            push_plane(g - 1, std::min(x_begin + 1, x_end - 1));
+        }
+        if (g + 1 < gpus) {
+            push_plane(g + 1, x_end - 1);
+            push_plane(g + 1, x_end >= 2 ? std::max(x_begin, x_end - 2)
+                                         : x_begin);
+        }
+    }
+
+    return iter;
+}
+
+double
+EqwpWorkload::energy() const
+{
+    double sum = 0.0;
+    for (double v : _u)
+        sum += v * v;
+    return sum;
+}
+
+} // namespace fp::workloads

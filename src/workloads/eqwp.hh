@@ -1,0 +1,60 @@
+/**
+ * @file
+ * EQWP (paper Section V, from the Tartan suite): 3-D earthquake wave
+ * propagation with a 4th-order finite-difference stencil.
+ *
+ * The domain is partitioned along the unit-stride (x) dimension, so the
+ * two-deep halo planes exchanged with neighbours are strided in memory:
+ * the peer-to-peer store version emits isolated 8 B stores (no intra-
+ * warp coalescing is possible), while the memcpy version must pack the
+ * planes into staging buffers before the bulk copy (extra local
+ * traffic). Communication pattern: peer-to-peer.
+ */
+
+#ifndef FP_WORKLOADS_EQWP_HH
+#define FP_WORKLOADS_EQWP_HH
+
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace fp::workloads {
+
+class EqwpWorkload : public Workload
+{
+  public:
+    const char *name() const override { return "eqwp"; }
+    const char *commPattern() const override { return "peer-to-peer"; }
+
+    void setup(const WorkloadParams &params) override;
+    std::uint32_t numIterations() const override { return 6; }
+    trace::IterationWork runIteration(std::uint32_t it) override;
+
+    /** Total wavefield energy (for regression checks). */
+    double energy() const;
+
+    /** Device-local base of the replicated wavefield. */
+    static constexpr Addr field_base = 0x40000000;
+    /** Device-local base of the DMA halo staging buffers. */
+    static constexpr Addr staging_base = 0x70000000;
+
+    std::uint64_t nx() const { return _nx; }
+    std::uint64_t ny() const { return _ny; }
+    std::uint64_t nz() const { return _nz; }
+
+  private:
+    std::uint64_t index(std::uint64_t x, std::uint64_t y,
+                        std::uint64_t z) const
+    { return x + _nx * (y + _ny * z); }
+
+    double laplacian4(const std::vector<double> &u, std::uint64_t x,
+                      std::uint64_t y, std::uint64_t z) const;
+
+    std::uint64_t _nx = 0, _ny = 0, _nz = 0;
+    /** Wavefield at t, t-1. */
+    std::vector<double> _u, _u_prev, _u_next;
+};
+
+} // namespace fp::workloads
+
+#endif // FP_WORKLOADS_EQWP_HH

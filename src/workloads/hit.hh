@@ -1,0 +1,84 @@
+/**
+ * @file
+ * HIT (paper Section V, Tartan suite): homogeneous isotropic turbulence
+ * computed as a series of 3-D FFT operations.
+ *
+ * The spectral field is slab-partitioned along z; each time step runs
+ * as two kernel phases separated by device-wide synchronization:
+ *   phase A: (inverse transforms + nonlinear term +) forward FFT along
+ *            x and y, then an all-to-all transpose into x-slabs,
+ *   phase B: FFT along z, spectral viscous decay, inverse FFT along z,
+ *            then the all-to-all transpose back.
+ * Transposes write remote elements at strides of n^2 complex values, so
+ * the peer-to-peer store version emits isolated 8 B stores; the memcpy
+ * version packs the blocks into staging buffers first.
+ *
+ * Simplification: a single complex field stands in for the three
+ * velocity components; the spectral pipeline, the transposes, and the
+ * traffic they generate are real.
+ */
+
+#ifndef FP_WORKLOADS_HIT_HH
+#define FP_WORKLOADS_HIT_HH
+
+#include <complex>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace fp::workloads {
+
+class HitWorkload : public Workload
+{
+  public:
+    const char *name() const override { return "hit"; }
+    const char *commPattern() const override { return "all-to-all"; }
+
+    void setup(const WorkloadParams &params) override;
+    /** 3 time steps x 2 transpose phases. */
+    std::uint32_t numIterations() const override { return 6; }
+    trace::IterationWork runIteration(std::uint32_t it) override;
+
+    /**
+     * Physical-space field energy. Between phases the field sits in
+     * xy-spectral space (forward FFTs are unnormalized), so Parseval's
+     * factor n^2 is divided out when applicable; with viscosity on,
+     * energy decays across full steps.
+     */
+    double energy() const;
+
+    std::uint64_t n() const { return _n; }
+
+    /** Device-local bases of the two layouts. */
+    static constexpr Addr field_base = 0x40000000;     ///< z-slabs
+    static constexpr Addr transposed_base = 0x50000000; ///< x-slabs
+    /** Device-local base of the DMA transpose staging buffers. */
+    static constexpr Addr staging_base = 0x70000000;
+
+  private:
+    using Complex = std::complex<float>;
+
+    std::uint64_t index(std::uint64_t x, std::uint64_t y,
+                        std::uint64_t z) const
+    { return x + _n * (y + _n * z); }
+    std::uint64_t indexT(std::uint64_t x, std::uint64_t y,
+                         std::uint64_t z) const
+    { return z + _n * (y + _n * x); }
+
+    /** In-place radix-2 FFT over a strided pencil. */
+    void fftPencil(std::vector<Complex> &data, std::uint64_t base,
+                   std::uint64_t stride, bool inverse) const;
+
+    void phaseA(trace::IterationWork &iter, bool first_step);
+    void phaseB(trace::IterationWork &iter);
+
+    std::uint64_t _n = 64;
+    std::vector<Complex> _u;  ///< z-slab layout
+    std::vector<Complex> _ut; ///< x-slab (transposed) layout
+    /** True while _u carries unnormalized x/y forward transforms. */
+    bool _xy_spectral = false;
+};
+
+} // namespace fp::workloads
+
+#endif // FP_WORKLOADS_HIT_HH

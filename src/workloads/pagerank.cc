@@ -1,0 +1,173 @@
+#include "workloads/pagerank.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "trace/store_stream.hh"
+
+namespace fp::workloads {
+
+void
+PagerankWorkload::setup(const WorkloadParams &params)
+{
+    _params = params;
+    _rng = common::Rng(params.seed);
+
+    auto n = static_cast<std::uint64_t>(1048576 * params.scale);
+    n = std::max<std::uint64_t>(n, 8192);
+    std::uint64_t bandwidth = std::max<std::uint64_t>(n / 8, 1024);
+
+    _graph = makeBandedGraph(n, 8, bandwidth, params.seed);
+
+    // Transpose for the pull-style update.
+    std::vector<std::vector<std::uint32_t>> in_adj(n);
+    for (std::uint64_t u = 0; u < n; ++u)
+        for (std::uint64_t e = _graph.offsets[u];
+             e < _graph.offsets[u + 1]; ++e)
+            in_adj[_graph.targets[e]].push_back(
+                static_cast<std::uint32_t>(u));
+    _in_graph.num_nodes = n;
+    _in_graph.offsets.assign(1, 0);
+    std::uint64_t total = 0;
+    for (auto &targets : in_adj) {
+        total += targets.size();
+        _in_graph.offsets.push_back(total);
+    }
+    _in_graph.targets.reserve(total);
+    for (const auto &targets : in_adj)
+        _in_graph.targets.insert(_in_graph.targets.end(), targets.begin(),
+                                 targets.end());
+
+    // Which peer partitions does each node's rank need to reach? The
+    // owners of its out-edge targets.
+    _push_mask.assign(n, 0);
+    for (std::uint64_t u = 0; u < n; ++u) {
+        GpuId owner = ownerOf(u, n, params.num_gpus);
+        for (std::uint64_t e = _graph.offsets[u];
+             e < _graph.offsets[u + 1]; ++e) {
+            GpuId target_owner =
+                ownerOf(_graph.targets[e], n, params.num_gpus);
+            if (target_owner != owner)
+                _push_mask[u] |= static_cast<std::uint8_t>(
+                    1u << target_owner);
+        }
+    }
+
+    _rank.assign(n, 1.0 / static_cast<double>(n));
+    _rank_next.assign(n, 0.0);
+}
+
+trace::IterationWork
+PagerankWorkload::runIteration(std::uint32_t)
+{
+    const std::uint64_t n = _graph.num_nodes;
+    const std::uint32_t gpus = _params.num_gpus;
+    const double damping = 0.85;
+
+    trace::IterationWork iter;
+    iter.per_gpu.resize(gpus);
+    iter.consumed.resize(gpus);
+
+    // --- Pull-style rank update over owned nodes ------------------------
+    for (GpuId g = 0; g < gpus; ++g) {
+        auto [begin, end] = blockPartition(n, gpus, g);
+        auto &work = iter.per_gpu[g];
+
+        std::uint64_t edges = 0;
+        for (std::uint64_t u = begin; u < end; ++u) {
+            double sum = 0.0;
+            for (std::uint64_t e = _in_graph.offsets[u];
+                 e < _in_graph.offsets[u + 1]; ++e) {
+                std::uint32_t v = _in_graph.targets[e];
+                std::uint64_t out_deg = _graph.outDegree(v);
+                if (out_deg > 0)
+                    sum += _rank[v] / static_cast<double>(out_deg);
+            }
+            edges += _in_graph.offsets[u + 1] - _in_graph.offsets[u];
+            _rank_next[u] =
+                (1.0 - damping) / static_cast<double>(n) + damping * sum;
+        }
+
+        work.flops = static_cast<double>(edges) * 3.0 +
+                     static_cast<double>(end - begin) * 3.0;
+        work.local_bytes = edges * 12 + (end - begin) * 24;
+    }
+    std::swap(_rank, _rank_next);
+
+    // --- Push boundary ranks to the partitions that read them ----------
+    for (GpuId g = 0; g < gpus; ++g) {
+        auto [begin, end] = blockPartition(n, gpus, g);
+        auto &work = iter.per_gpu[g];
+        trace::StoreStreamBuilder stream(g, work.remote_stores,
+                                         _coalescer);
+
+        // Warp-per-row SpMV: each row's result is stored by lane 0 as a
+        // scalar 8 B store as that row's warp completes. Rows complete
+        // roughly in order with inter-SM jitter.
+        std::uint64_t window = 256;
+        std::vector<std::uint64_t> order;
+        order.reserve(end - begin);
+        for (std::uint64_t u = begin; u < end; ++u)
+            if (_push_mask[u])
+                order.push_back(u);
+        for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+            std::uint64_t span =
+                std::min<std::uint64_t>(window, order.size() - i);
+            std::size_t j = i + _rng.below(span);
+            std::swap(order[i], order[j]);
+        }
+
+        for (std::uint64_t u : order) {
+            // The kernel only stores ranks that actually changed beyond
+            // the convergence tolerance (after the swap, _rank_next
+            // still holds the previous iteration's values).
+            if (std::abs(_rank[u] - _rank_next[u]) <=
+                1e-3 * std::abs(_rank_next[u]))
+                continue;
+            for (GpuId dst = 0; dst < gpus; ++dst) {
+                if (dst == g || !(_push_mask[u] & (1u << dst)))
+                    continue;
+                stream.scalarWrite(dst, rank_base + u * 8, 8);
+            }
+        }
+
+        // The memcpy twin cannot tell which boundary ranks have cross
+        // edges, so it copies the whole bandwidth-wide boundary block
+        // toward each neighbour (over-transfer).
+        std::uint64_t bw = std::min<std::uint64_t>(n / 8, end - begin);
+        if (g > 0) {
+            work.dma_copies.push_back(trace::DmaCopy{
+                static_cast<GpuId>(g - 1),
+                icn::AddrRange{rank_base + begin * 8, bw * 8}});
+        }
+        if (g + 1 < gpus) {
+            work.dma_copies.push_back(trace::DmaCopy{
+                static_cast<GpuId>(g + 1),
+                icn::AddrRange{rank_base + (end - bw) * 8, bw * 8}});
+        }
+    }
+
+    // --- Consumption: a rank value is read by partitions that own one
+    //     of its out-edge targets.
+    for (std::uint64_t u = 0; u < n; ++u) {
+        if (!_push_mask[u])
+            continue;
+        for (GpuId dst = 0; dst < gpus; ++dst)
+            if (_push_mask[u] & (1u << dst))
+                iter.consumed[dst].push_back(
+                    icn::AddrRange{rank_base + u * 8, 8});
+    }
+
+    return iter;
+}
+
+double
+PagerankWorkload::rankSum() const
+{
+    double sum = 0.0;
+    for (double r : _rank)
+        sum += r;
+    return sum;
+}
+
+} // namespace fp::workloads

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * PageRank (paper Section V): synchronous power iteration over a banded
+ * cage-like matrix. The rank vector is replicated; each GPU owns a
+ * contiguous block of nodes, computes their new ranks from its local
+ * replica, and pushes each boundary rank that a neighbouring partition
+ * needs as an individual 8 B store (warp-per-row SpMV emits a scalar
+ * result store per row, so no intra-warp coalescing occurs).
+ * Communication pattern for the banded dataset: peer-to-peer.
+ */
+
+#ifndef FP_WORKLOADS_PAGERANK_HH
+#define FP_WORKLOADS_PAGERANK_HH
+
+#include <vector>
+
+#include "workloads/datasets.hh"
+#include "workloads/workload.hh"
+
+namespace fp::workloads {
+
+class PagerankWorkload : public Workload
+{
+  public:
+    const char *name() const override { return "pagerank"; }
+    const char *commPattern() const override { return "peer-to-peer"; }
+
+    void setup(const WorkloadParams &params) override;
+    std::uint32_t numIterations() const override { return 8; }
+    trace::IterationWork runIteration(std::uint32_t it) override;
+
+    /** Rank mass (sums to ~1 with the damping formulation). */
+    double rankSum() const;
+    const std::vector<double> &ranks() const { return _rank; }
+
+    /** Device-local base of the replicated rank vector. */
+    static constexpr Addr rank_base = 0x40000000;
+
+  private:
+    Graph _graph;       ///< out-edges u -> v
+    Graph _in_graph;    ///< transposed (in-edges), used by the update
+    std::vector<double> _rank, _rank_next;
+    /** For each node, the set of peer partitions its rank must reach. */
+    std::vector<std::uint8_t> _push_mask; // bit per GPU
+};
+
+} // namespace fp::workloads
+
+#endif // FP_WORKLOADS_PAGERANK_HH

@@ -1,0 +1,166 @@
+#include "workloads/sssp.hh"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "trace/store_stream.hh"
+
+namespace fp::workloads {
+
+namespace {
+
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+float
+SsspWorkload::weight(std::uint64_t u, std::uint64_t e) const
+{
+    // Deterministic weight in [1, 10).
+    double unit = static_cast<double>(mix(u * 0x9e3779b1ull + e) >> 11) *
+                  (1.0 / 9007199254740992.0);
+    return static_cast<float>(1.0 + unit * 9.0);
+}
+
+void
+SsspWorkload::setup(const WorkloadParams &params)
+{
+    _params = params;
+    _rng = common::Rng(params.seed);
+
+    auto n = static_cast<std::uint64_t>(524288 * params.scale);
+    n = std::max<std::uint64_t>(n, 8192);
+    _graph = makeWebGraph(n, 2048, 6, 2, params.seed);
+
+    _dist.assign(n, std::numeric_limits<float>::infinity());
+    _recorded.clear();
+    simulate();
+}
+
+void
+SsspWorkload::simulate()
+{
+    const std::uint64_t n = _graph.num_nodes;
+    const std::uint32_t gpus = _params.num_gpus;
+    const std::uint32_t max_iters = 10;
+
+    // A central source reaches every partition within a few hops.
+    std::uint64_t source = n / 2;
+    _dist[source] = 0.0f;
+    std::vector<std::uint64_t> frontier{source};
+
+    // prev_iter points into _recorded; reserve so push_back never
+    // reallocates under it.
+    _recorded.reserve(max_iters);
+
+    // Updated addresses of the previous iteration, for the lookahead
+    // consumption oracle: addr -> (iteration index, per-dst seen mask).
+    std::unordered_set<std::uint64_t> prev_updated;
+    trace::IterationWork *prev_iter = nullptr;
+
+    for (std::uint32_t it = 0; it < max_iters && !frontier.empty(); ++it) {
+        trace::IterationWork iter;
+        iter.per_gpu.resize(gpus);
+        iter.consumed.resize(gpus);
+
+        std::unordered_set<std::uint64_t> updated;
+        std::vector<std::uint64_t> next_frontier;
+        // Per-dst dedup of consumed marks against prev_updated.
+        std::vector<std::unordered_set<std::uint64_t>> consumed_marks(
+            gpus);
+
+        for (GpuId g = 0; g < gpus; ++g) {
+            auto &work = iter.per_gpu[g];
+            trace::StoreStreamBuilder stream(g, work.remote_stores,
+                                             _coalescer);
+
+            // The frontier nodes this GPU owns, in node order with
+            // inter-SM completion jitter.
+            std::vector<std::uint64_t> mine;
+            for (std::uint64_t u : frontier)
+                if (ownerOf(u, n, gpus) == g)
+                    mine.push_back(u);
+            std::sort(mine.begin(), mine.end());
+            for (std::size_t i = 0; i + 1 < mine.size(); ++i) {
+                std::uint64_t span = std::min<std::uint64_t>(
+                    128, mine.size() - i);
+                std::swap(mine[i], mine[i + _rng.below(span)]);
+            }
+
+            std::uint64_t relaxed_edges = 0;
+            auto mark_read = [&](std::uint64_t node) {
+                if (prev_iter && prev_updated.count(node) &&
+                    consumed_marks[g].insert(node).second) {
+                    prev_iter->consumed[g].push_back(
+                        icn::AddrRange{dist_base + node * 4, 4});
+                }
+            };
+
+            for (std::uint64_t u : mine) {
+                mark_read(u); // reads dist[u]
+                float du = _dist[u];
+                for (std::uint64_t e = _graph.offsets[u];
+                     e < _graph.offsets[u + 1]; ++e) {
+                    std::uint32_t v = _graph.targets[e];
+                    ++relaxed_edges;
+                    mark_read(v); // reads dist[v] for the comparison
+                    float cand = du + weight(u, e);
+                    if (cand < _dist[v]) {
+                        _dist[v] = cand;
+                        if (updated.insert(v).second)
+                            next_frontier.push_back(v);
+                        // Push the improvement to every peer replica.
+                        for (GpuId dst = 0; dst < gpus; ++dst) {
+                            if (dst == g)
+                                continue;
+                            stream.scalarWrite(dst,
+                                               dist_base + v * 4, 4);
+                        }
+                    }
+                }
+            }
+
+            work.flops = static_cast<double>(relaxed_edges) * 4.0;
+            // Relaxations are random accesses over a multi-MB distance
+            // array and CSR: each touch costs a cache line, not 4 B.
+            work.local_bytes = relaxed_edges * 64 + mine.size() * 32;
+
+            // The memcpy twin cannot identify the sparse improvements:
+            // it copies its whole owned distance block to every peer.
+            auto [begin, end] = blockPartition(n, gpus, g);
+            for (GpuId dst = 0; dst < gpus; ++dst) {
+                if (dst == g)
+                    continue;
+                work.dma_copies.push_back(trace::DmaCopy{
+                    dst, icn::AddrRange{dist_base + begin * 4,
+                                        (end - begin) * 4}});
+            }
+        }
+
+        _recorded.push_back(std::move(iter));
+        prev_iter = &_recorded.back();
+        prev_updated.clear();
+        for (std::uint64_t v : updated)
+            prev_updated.insert(v);
+        frontier = std::move(next_frontier);
+        std::sort(frontier.begin(), frontier.end());
+    }
+}
+
+trace::IterationWork
+SsspWorkload::runIteration(std::uint32_t it)
+{
+    fp_assert(it < _recorded.size(), "iteration out of range");
+    return _recorded[it];
+}
+
+} // namespace fp::workloads

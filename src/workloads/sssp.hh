@@ -1,0 +1,56 @@
+/**
+ * @file
+ * SSSP (paper Section V): Bellman-Ford over a web-like graph
+ * (indochina-like: dense host communities plus heavy-tailed long-range
+ * links). The distance array is replicated on every GPU; each GPU
+ * relaxes the out-edges of the frontier nodes it owns and pushes every
+ * improvement to all peers as a 4 B store (many-to-many pattern).
+ * Repeated improvements of the same node within an iteration create the
+ * temporal redundancy FinePack's same-address coalescing removes.
+ *
+ * The whole algorithm runs in setup() so that each iteration's
+ * consumption oracle can look one iteration ahead (a value is useful if
+ * some GPU reads it while relaxing in the next iteration).
+ */
+
+#ifndef FP_WORKLOADS_SSSP_HH
+#define FP_WORKLOADS_SSSP_HH
+
+#include <vector>
+
+#include "workloads/datasets.hh"
+#include "workloads/workload.hh"
+
+namespace fp::workloads {
+
+class SsspWorkload : public Workload
+{
+  public:
+    const char *name() const override { return "sssp"; }
+    const char *commPattern() const override { return "many-to-many"; }
+
+    void setup(const WorkloadParams &params) override;
+    std::uint32_t numIterations() const override
+    { return static_cast<std::uint32_t>(_recorded.size()); }
+    trace::IterationWork runIteration(std::uint32_t it) override;
+
+    /** Final distance estimates after the recorded iterations. */
+    const std::vector<float> &distances() const { return _dist; }
+
+    /** Edge weight of edge index @p e out of node @p u (procedural). */
+    float weight(std::uint64_t u, std::uint64_t e) const;
+
+    /** Device-local base of the replicated distance array. */
+    static constexpr Addr dist_base = 0x40000000;
+
+  private:
+    void simulate();
+
+    Graph _graph;
+    std::vector<float> _dist;
+    std::vector<trace::IterationWork> _recorded;
+};
+
+} // namespace fp::workloads
+
+#endif // FP_WORKLOADS_SSSP_HH

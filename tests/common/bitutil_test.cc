@@ -1,0 +1,84 @@
+/** Unit tests for bit-manipulation helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hh"
+
+using namespace fp::common;
+
+TEST(BitUtilTest, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(128));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 63));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 63) + 1));
+}
+
+TEST(BitUtilTest, AlignDown)
+{
+    EXPECT_EQ(alignDown(0, 128), 0u);
+    EXPECT_EQ(alignDown(127, 128), 0u);
+    EXPECT_EQ(alignDown(128, 128), 128u);
+    EXPECT_EQ(alignDown(300, 128), 256u);
+}
+
+TEST(BitUtilTest, AlignUp)
+{
+    EXPECT_EQ(alignUp(0, 4), 0u);
+    EXPECT_EQ(alignUp(1, 4), 4u);
+    EXPECT_EQ(alignUp(4, 4), 4u);
+    EXPECT_EQ(alignUp(4093, 4), 4096u);
+}
+
+TEST(BitUtilTest, RoundUpToArbitraryUnit)
+{
+    EXPECT_EQ(roundUpTo(0, 3), 0u);
+    EXPECT_EQ(roundUpTo(1, 3), 3u);
+    EXPECT_EQ(roundUpTo(9, 3), 9u);
+    EXPECT_EQ(roundUpTo(10, 3), 12u);
+}
+
+TEST(BitUtilTest, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 5), 0u);
+    EXPECT_EQ(divCeil(1, 5), 1u);
+    EXPECT_EQ(divCeil(5, 5), 1u);
+    EXPECT_EQ(divCeil(6, 5), 2u);
+    EXPECT_EQ(divCeil(4096, 4096), 1u);
+    EXPECT_EQ(divCeil(4097, 4096), 2u);
+}
+
+TEST(BitUtilTest, BitsFor)
+{
+    EXPECT_EQ(bitsFor(0), 0u);
+    EXPECT_EQ(bitsFor(1), 0u);
+    EXPECT_EQ(bitsFor(2), 1u);
+    EXPECT_EQ(bitsFor(3), 2u);
+    EXPECT_EQ(bitsFor(256), 8u);
+    EXPECT_EQ(bitsFor(257), 9u);
+}
+
+TEST(BitUtilTest, BitsExtraction)
+{
+    EXPECT_EQ(bits(0xff00, 15, 8), 0xffull);
+    EXPECT_EQ(bits(0xff00, 7, 0), 0x00ull);
+    EXPECT_EQ(bits(~0ull, 63, 0), ~0ull);
+    EXPECT_EQ(bits(0b1010, 3, 1), 0b101ull);
+}
+
+TEST(BitUtilTest, Mask)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(8), 0xffull);
+    EXPECT_EQ(mask(64), ~0ull);
+    // The FinePack sub-header offset widths (Table II).
+    EXPECT_EQ(mask(6) + 1, 64u);            // 2 B sub-header -> 64 B
+    EXPECT_EQ(mask(14) + 1, 16u * 1024);    // 3 B -> 16 KB
+    EXPECT_EQ(mask(22) + 1, 4u * 1024 * 1024); // 4 B -> 4 MB
+    EXPECT_EQ(mask(30) + 1, 1ull << 30);    // 5 B -> 1 GB
+    EXPECT_EQ(mask(38) + 1, 1ull << 38);    // 6 B -> 256 GB
+}

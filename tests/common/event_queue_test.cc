@@ -1,0 +1,223 @@
+/** Unit tests for the discrete-event simulation core. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/logging.hh"
+
+using namespace fp;
+using fp::common::Event;
+using fp::common::EventQueue;
+
+namespace {
+
+class RecordingEvent : public Event
+{
+  public:
+    RecordingEvent(std::vector<int> &log, int id, int priority =
+                       Event::prio_default)
+        : Event(priority), _log(log), _id(id)
+    {}
+
+    void process() override { _log.push_back(_id); }
+
+  private:
+    std::vector<int> &_log;
+    int _id;
+};
+
+} // namespace
+
+TEST(EventQueueTest, StartsEmptyAtTickZero)
+{
+    EventQueue queue;
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.now(), 0u);
+    EXPECT_EQ(queue.nextEventTick(), max_tick);
+    EXPECT_FALSE(queue.step());
+}
+
+TEST(EventQueueTest, RunOnEmptyQueueTerminates)
+{
+    EventQueue queue;
+    EXPECT_EQ(queue.run(), 0u);
+    EXPECT_EQ(queue.run(max_tick), 0u);
+}
+
+TEST(EventQueueTest, ExecutesInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2), c(log, 3);
+    queue.schedule(&c, 300);
+    queue.schedule(&a, 100);
+    queue.schedule(&b, 200);
+    queue.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(queue.now(), 300u);
+}
+
+TEST(EventQueueTest, SameTickOrdersByPriorityThenInsertion)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    RecordingEvent low(log, 1, Event::prio_stat);
+    RecordingEvent high(log, 2, Event::prio_arrival);
+    RecordingEvent first(log, 3, Event::prio_default);
+    RecordingEvent second(log, 4, Event::prio_default);
+    queue.schedule(&low, 50);
+    queue.schedule(&first, 50);
+    queue.schedule(&second, 50);
+    queue.schedule(&high, 50);
+    queue.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 3, 4, 1}));
+}
+
+TEST(EventQueueTest, LambdaEventsRun)
+{
+    EventQueue queue;
+    int count = 0;
+    queue.schedule([&]() { ++count; }, 10);
+    queue.scheduleIn([&]() { ++count; }, 20);
+    queue.run();
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(queue.now(), 20u);
+}
+
+TEST(EventQueueTest, EventsScheduleMoreEvents)
+{
+    EventQueue queue;
+    std::vector<Tick> ticks;
+    std::function<void()> chain = [&]() {
+        ticks.push_back(queue.now());
+        if (ticks.size() < 5)
+            queue.scheduleIn(chain, 10);
+    };
+    queue.schedule(chain, 0);
+    queue.run();
+    EXPECT_EQ(ticks, (std::vector<Tick>{0, 10, 20, 30, 40}));
+}
+
+TEST(EventQueueTest, CancelPreventsExecution)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2);
+    queue.schedule(&a, 10);
+    queue.schedule(&b, 20);
+    a.cancel();
+    EXPECT_FALSE(a.scheduled());
+    queue.run();
+    EXPECT_EQ(log, (std::vector<int>{2}));
+}
+
+TEST(EventQueueTest, CancelledQueueIsEmpty)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    queue.schedule(&a, 10);
+    a.cancel();
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, RescheduleMovesEvent)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2);
+    queue.schedule(&a, 100);
+    queue.schedule(&b, 50);
+    queue.reschedule(&a, 10); // move earlier
+    queue.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+    EXPECT_EQ(queue.eventsProcessed(), 2u);
+}
+
+TEST(EventQueueTest, RescheduleUnscheduledActsAsSchedule)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    queue.reschedule(&a, 5);
+    queue.run();
+    EXPECT_EQ(log, (std::vector<int>{1}));
+}
+
+TEST(EventQueueTest, CancelThenRescheduleRunsOnce)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    queue.schedule(&a, 10);
+    a.cancel();
+    queue.reschedule(&a, 30);
+    queue.run();
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_EQ(queue.now(), 30u);
+}
+
+TEST(EventQueueTest, RunWithLimitStopsBeforeLaterEvents)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2);
+    queue.schedule(&a, 10);
+    queue.schedule(&b, 100);
+    queue.run(50);
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_FALSE(queue.empty());
+    EXPECT_EQ(queue.nextEventTick(), 100u);
+    queue.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueTest, SchedulingInThePastPanics)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    queue.schedule([]() {}, 100);
+    queue.run();
+    EXPECT_THROW(queue.schedule(&a, 50), common::SimError);
+}
+
+TEST(EventQueueTest, DoubleSchedulePanics)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    queue.schedule(&a, 10);
+    EXPECT_THROW(queue.schedule(&a, 20), common::SimError);
+}
+
+TEST(EventQueueTest, ManyLambdasGarbageCollected)
+{
+    EventQueue queue;
+    std::uint64_t count = 0;
+    for (int i = 0; i < 20000; ++i)
+        queue.schedule([&count]() { ++count; },
+                       static_cast<Tick>(i));
+    queue.run();
+    EXPECT_EQ(count, 20000u);
+    EXPECT_EQ(queue.eventsProcessed(), 20000u);
+}
+
+TEST(EventQueueTest, TieBreakIsDeterministicAcrossRuns)
+{
+    auto run_once = [&]() {
+        EventQueue queue;
+        std::vector<int> log;
+        std::vector<std::unique_ptr<RecordingEvent>> events;
+        for (int i = 0; i < 64; ++i) {
+            events.push_back(
+                std::make_unique<RecordingEvent>(log, i));
+            queue.schedule(events.back().get(), 7);
+        }
+        queue.run();
+        return log;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}

@@ -1,0 +1,65 @@
+/** Unit tests for panic/fatal/assert behaviour. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+using namespace fp::common;
+
+TEST(LoggingTest, PanicThrowsWithMessage)
+{
+    try {
+        fp_panic("bad thing ", 42);
+        FAIL() << "panic did not throw";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimError::Kind::Panic);
+        EXPECT_NE(std::string(e.what()).find("bad thing 42"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("logging_test"),
+                  std::string::npos);
+    }
+}
+
+TEST(LoggingTest, FatalThrowsWithKind)
+{
+    try {
+        fp_fatal("user error");
+        FAIL() << "fatal did not throw";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimError::Kind::Fatal);
+        EXPECT_NE(std::string(e.what()).find("fatal"),
+                  std::string::npos);
+    }
+}
+
+TEST(LoggingTest, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(fp_assert(1 + 1 == 2, "math works"));
+}
+
+TEST(LoggingTest, AssertThrowsOnFalse)
+{
+    try {
+        fp_assert(1 == 2, "value was ", 2);
+        FAIL() << "assert did not throw";
+    } catch (const SimError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("1 == 2"), std::string::npos);
+        EXPECT_NE(what.find("value was 2"), std::string::npos);
+    }
+}
+
+TEST(LoggingTest, ExceptionsToggleIsQueryable)
+{
+    EXPECT_TRUE(exceptionsEnabled());
+    setExceptionsEnabled(true);
+    EXPECT_TRUE(exceptionsEnabled());
+}
+
+TEST(LoggingTest, WarnAndInformDoNotThrow)
+{
+    setQuiet(true);
+    EXPECT_NO_THROW(fp_warn("warning ", 1));
+    EXPECT_NO_THROW(fp_inform("status ", 2));
+    setQuiet(false);
+}

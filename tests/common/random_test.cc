@@ -1,0 +1,95 @@
+/** Unit tests for the deterministic PRNG. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+using namespace fp::common;
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(RngTest, BelowOneAlwaysZero)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(RngTest, BelowZeroPanics)
+{
+    Rng rng(7);
+    EXPECT_THROW(rng.below(0), SimError);
+}
+
+TEST(RngTest, RangeInclusiveBounds)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        auto v = rng.range(10, 13);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 13u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all four values appear
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BelowIsRoughlyUniform)
+{
+    Rng rng(13);
+    std::uint64_t counts[8] = {};
+    const int trials = 80000;
+    for (int i = 0; i < trials; ++i)
+        ++counts[rng.below(8)];
+    for (auto c : counts) {
+        EXPECT_GT(c, trials / 8 * 0.9);
+        EXPECT_LT(c, trials / 8 * 1.1);
+    }
+}
+
+TEST(RngTest, ChanceExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}

@@ -1,0 +1,169 @@
+/** Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+using namespace fp::common;
+
+TEST(ScalarTest, AccumulatesAndResets)
+{
+    Scalar s;
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    s += 5.0;
+    ++s;
+    s -= 2.0;
+    EXPECT_DOUBLE_EQ(s.value(), 4.0);
+    s.set(10.0);
+    EXPECT_DOUBLE_EQ(s.value(), 10.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(AverageTest, ComputesMean)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(6.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 12.0);
+    EXPECT_EQ(a.count(), 3u);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(DistributionTest, BucketsSamples)
+{
+    Distribution d;
+    d.init(0.0, 100.0, 10);
+    d.sample(5.0);   // bucket 0
+    d.sample(15.0);  // bucket 1
+    d.sample(95.0);  // bucket 9
+    d.sample(-1.0);  // underflow
+    d.sample(100.0); // overflow (hi is exclusive)
+    EXPECT_EQ(d.count(), 5u);
+    EXPECT_EQ(d.buckets()[0], 1u);
+    EXPECT_EQ(d.buckets()[1], 1u);
+    EXPECT_EQ(d.buckets()[9], 1u);
+    EXPECT_EQ(d.underflow(), 1u);
+    EXPECT_EQ(d.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(d.min(), -1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 100.0);
+}
+
+TEST(DistributionTest, WeightedSamples)
+{
+    Distribution d;
+    d.init(0.0, 10.0, 2);
+    d.sample(1.0, 3);
+    d.sample(7.0, 2);
+    EXPECT_EQ(d.count(), 5u);
+    EXPECT_EQ(d.buckets()[0], 3u);
+    EXPECT_EQ(d.buckets()[1], 2u);
+    EXPECT_NEAR(d.mean(), (1.0 * 3 + 7.0 * 2) / 5.0, 1e-12);
+}
+
+TEST(DistributionTest, VarianceMatchesHandComputation)
+{
+    Distribution d;
+    d.init(0.0, 10.0, 10);
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    // Known population variance of this data set is 4.
+    EXPECT_NEAR(d.variance(), 4.0, 1e-9);
+    EXPECT_NEAR(d.mean(), 5.0, 1e-12);
+}
+
+TEST(DistributionTest, ResetClearsEverything)
+{
+    Distribution d;
+    d.init(0.0, 10.0, 5);
+    d.sample(3.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    for (auto b : d.buckets())
+        EXPECT_EQ(b, 0u);
+}
+
+TEST(HistogramTest, ExplicitEdges)
+{
+    Histogram h;
+    h.init({0.0, 5.0, 9.0, 17.0, 33.0, 65.0});
+    h.sample(4.0);   // [0,5)
+    h.sample(8.0);   // [5,9)
+    h.sample(16.0);  // [9,17)
+    h.sample(32.0);  // [17,33)
+    h.sample(64.0);  // [33,65)
+    h.sample(128.0); // [65,inf)
+    EXPECT_EQ(h.total(), 6u);
+    for (std::size_t i = 0; i < 6; ++i)
+        EXPECT_EQ(h.counts()[i], 1u) << "bucket " << i;
+    EXPECT_NEAR(h.fraction(0), 1.0 / 6.0, 1e-12);
+}
+
+TEST(HistogramTest, EdgeValuesLandInUpperBucket)
+{
+    Histogram h;
+    h.init({0.0, 10.0});
+    h.sample(10.0);
+    EXPECT_EQ(h.counts()[1], 1u);
+    h.sample(9.999);
+    EXPECT_EQ(h.counts()[0], 1u);
+}
+
+TEST(HistogramTest, BelowFirstEdgeClampsToBucketZero)
+{
+    Histogram h;
+    h.init({5.0, 10.0});
+    h.sample(1.0);
+    EXPECT_EQ(h.counts()[0], 1u);
+}
+
+TEST(StatGroupTest, RegistersAndLooksUp)
+{
+    StatGroup group("gpu0");
+    Scalar s;
+    Average a;
+    s += 42.0;
+    a.sample(3.0);
+    group.registerScalar("stores", &s, "stores issued");
+    group.registerAverage("size", &a, "avg size");
+    EXPECT_DOUBLE_EQ(group.scalarValue("stores"), 42.0);
+    EXPECT_DOUBLE_EQ(group.averageValue("size"), 3.0);
+    EXPECT_TRUE(group.hasScalar("stores"));
+    EXPECT_FALSE(group.hasScalar("missing"));
+}
+
+TEST(StatGroupTest, UnknownStatPanics)
+{
+    StatGroup group("g");
+    EXPECT_THROW(group.scalarValue("nope"), fp::common::SimError);
+}
+
+TEST(StatGroupTest, DuplicateRegistrationPanics)
+{
+    StatGroup group("g");
+    Scalar s;
+    group.registerScalar("x", &s);
+    EXPECT_THROW(group.registerScalar("x", &s), fp::common::SimError);
+}
+
+TEST(StatGroupTest, DumpContainsNamesAndValues)
+{
+    StatGroup group("link0");
+    Scalar s;
+    s.set(7.0);
+    group.registerScalar("bytes", &s, "wire bytes");
+    std::ostringstream os;
+    group.dump(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("link0.bytes"), std::string::npos);
+    EXPECT_NE(text.find("7"), std::string::npos);
+    EXPECT_NE(text.find("wire bytes"), std::string::npos);
+}

@@ -1,0 +1,68 @@
+/** Unit tests for the ASCII table renderer. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+using namespace fp::common;
+
+TEST(TableTest, RendersHeaderAndRows)
+{
+    Table t("My Title");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "2"});
+    std::ostringstream os;
+    t.print(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("My Title"), std::string::npos);
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("beta"), std::string::npos);
+}
+
+TEST(TableTest, MismatchedRowWidthPanics)
+{
+    Table t("x");
+    t.setHeader({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), SimError);
+}
+
+TEST(TableTest, EmptyHeaderPanics)
+{
+    Table t("x");
+    EXPECT_THROW(t.setHeader({}), SimError);
+}
+
+TEST(TableTest, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::num(0.5, 3), "0.500");
+}
+
+TEST(TableTest, ColumnsAlignToWidestCell)
+{
+    Table t("t");
+    t.setHeader({"c"});
+    t.addRow({"wide-cell-content"});
+    t.addRow({"x"});
+    std::ostringstream os;
+    t.print(os);
+    // Every data row has the same length.
+    std::string text = os.str();
+    std::istringstream lines(text);
+    std::string line;
+    std::size_t width = 0;
+    while (std::getline(lines, line)) {
+        if (line.rfind("| ", 0) == 0) {
+            if (width == 0)
+                width = line.size();
+            EXPECT_EQ(line.size(), width);
+        }
+    }
+    EXPECT_GT(width, 0u);
+}

@@ -1,0 +1,153 @@
+/** Unit tests for intra-warp store coalescing (Section III / Fig. 4). */
+
+#include <gtest/gtest.h>
+
+#include "gpu/warp_coalescer.hh"
+
+using namespace fp;
+using namespace fp::gpu;
+
+namespace {
+
+std::vector<LaneAccess>
+contiguousWarp(Addr base, std::uint32_t lanes, std::uint32_t size)
+{
+    std::vector<LaneAccess> result;
+    for (std::uint32_t i = 0; i < lanes; ++i)
+        result.push_back(LaneAccess{base + i * size, size});
+    return result;
+}
+
+} // namespace
+
+TEST(WarpCoalescerTest, ContiguousWarpCoalescesToCacheLines)
+{
+    WarpCoalescer coalescer;
+    std::vector<LaneAccess> out;
+    // 32 threads x 8 B contiguous = 256 B = two full 128 B lines.
+    coalescer.coalesce(contiguousWarp(0x1000, 32, 8), out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].addr, 0x1000u);
+    EXPECT_EQ(out[0].size, 128u);
+    EXPECT_EQ(out[1].addr, 0x1080u);
+    EXPECT_EQ(out[1].size, 128u);
+}
+
+TEST(WarpCoalescerTest, Contiguous4ByteWarpIsOneAccess)
+{
+    WarpCoalescer coalescer;
+    std::vector<LaneAccess> out;
+    coalescer.coalesce(contiguousWarp(0x1000, 32, 4), out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].size, 128u);
+}
+
+TEST(WarpCoalescerTest, StridedWarpDoesNotCoalesce)
+{
+    WarpCoalescer coalescer;
+    std::vector<LaneAccess> out;
+    std::vector<LaneAccess> lanes;
+    for (std::uint32_t i = 0; i < 32; ++i)
+        lanes.push_back(LaneAccess{static_cast<Addr>(i) * 1024, 8});
+    coalescer.coalesce(lanes, out);
+    ASSERT_EQ(out.size(), 32u);
+    for (const auto &access : out)
+        EXPECT_EQ(access.size, 8u);
+}
+
+TEST(WarpCoalescerTest, UnsortedLanesStillCoalesce)
+{
+    WarpCoalescer coalescer;
+    std::vector<LaneAccess> lanes = {
+        {0x1010, 8}, {0x1000, 8}, {0x1008, 8}, {0x1018, 8}};
+    std::vector<LaneAccess> out;
+    coalescer.coalesce(lanes, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].addr, 0x1000u);
+    EXPECT_EQ(out[0].size, 32u);
+}
+
+TEST(WarpCoalescerTest, OverlappingLanesMerge)
+{
+    WarpCoalescer coalescer;
+    std::vector<LaneAccess> lanes = {{0x1000, 8}, {0x1004, 8}};
+    std::vector<LaneAccess> out;
+    coalescer.coalesce(lanes, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].size, 12u);
+}
+
+TEST(WarpCoalescerTest, GapSplitsAccesses)
+{
+    WarpCoalescer coalescer;
+    std::vector<LaneAccess> lanes = {{0x1000, 8}, {0x1010, 8}};
+    std::vector<LaneAccess> out;
+    coalescer.coalesce(lanes, out);
+    ASSERT_EQ(out.size(), 2u);
+}
+
+TEST(WarpCoalescerTest, LineBoundarySplitsContiguousRun)
+{
+    WarpCoalescer coalescer;
+    std::vector<LaneAccess> lanes = {{0x1070, 16}, {0x1080, 16}};
+    std::vector<LaneAccess> out;
+    coalescer.coalesce(lanes, out);
+    // Contiguous 32 B run crossing the 128 B line at 0x1080 splits.
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].addr, 0x1070u);
+    EXPECT_EQ(out[0].size, 16u);
+    EXPECT_EQ(out[1].addr, 0x1080u);
+    EXPECT_EQ(out[1].size, 16u);
+}
+
+TEST(WarpCoalescerTest, SingleLaneScalarStore)
+{
+    WarpCoalescer coalescer;
+    std::vector<LaneAccess> out;
+    coalescer.coalesce({{0xdeadbe00, 8}}, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].addr, 0xdeadbe00u);
+    EXPECT_EQ(out[0].size, 8u);
+}
+
+TEST(WarpCoalescerTest, EmptyWarpProducesNothing)
+{
+    WarpCoalescer coalescer;
+    std::vector<LaneAccess> out;
+    EXPECT_EQ(coalescer.coalesce({}, out), 0u);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(WarpCoalescerTest, HistogramTracksSizes)
+{
+    WarpCoalescer coalescer;
+    std::vector<LaneAccess> out;
+    coalescer.coalesce(contiguousWarp(0x0, 32, 4), out);   // one 128 B
+    coalescer.coalesce({{0x10000, 8}}, out);               // one 8 B
+    const auto &hist = coalescer.sizeHistogram();
+    EXPECT_EQ(hist.total(), 2u);
+    // Bucket 5 covers 65..128 B, bucket 1 covers 5..8 B.
+    EXPECT_EQ(hist.counts()[5], 1u);
+    EXPECT_EQ(hist.counts()[1], 1u);
+}
+
+TEST(WarpCoalescerTest, CoalesceToStoresTagsEndpoints)
+{
+    WarpCoalescer coalescer;
+    std::vector<icn::Store> stores;
+    coalescer.coalesceToStores(contiguousWarp(0x2000, 16, 8), 2, 3,
+                               stores);
+    ASSERT_EQ(stores.size(), 1u);
+    EXPECT_EQ(stores[0].src, 2u);
+    EXPECT_EQ(stores[0].dst, 3u);
+    EXPECT_EQ(stores[0].size, 128u);
+}
+
+TEST(WarpCoalescerTest, CountersAccumulate)
+{
+    WarpCoalescer coalescer;
+    std::vector<LaneAccess> out;
+    coalescer.coalesce(contiguousWarp(0x0, 32, 8), out);
+    EXPECT_EQ(coalescer.lanesIn(), 32u);
+    EXPECT_EQ(coalescer.accessesOut(), 2u);
+}

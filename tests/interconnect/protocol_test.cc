@@ -1,0 +1,158 @@
+/** Unit tests for the PCIe / NVLink byte-accounting models (Figure 2). */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "interconnect/message.hh"
+#include "interconnect/protocol.hh"
+
+using namespace fp;
+using namespace fp::icn;
+
+TEST(PcieProtocolTest, GenerationBandwidths)
+{
+    // The paper: "bandwidths ranging from 32GB/s for PCIe 4.0 to
+    // 128GB/s for PCIe 6.0".
+    EXPECT_EQ(pcieBandwidthBytesPerSec(PcieGen::gen4),
+              32ull * 1000 * 1000 * 1000);
+    EXPECT_EQ(pcieBandwidthBytesPerSec(PcieGen::gen6),
+              128ull * 1000 * 1000 * 1000);
+    EXPECT_EQ(pcieBandwidthBytesPerSec(PcieGen::gen5),
+              2 * pcieBandwidthBytesPerSec(PcieGen::gen4));
+}
+
+TEST(PcieProtocolTest, TlpOverheadIsFixedPerPacket)
+{
+    PcieProtocol pcie(PcieGen::gen4);
+    const auto &p = pcie.params();
+    EXPECT_EQ(pcie.tlpOverhead(),
+              p.framing_bytes + p.header_bytes + p.lcrc_bytes +
+                  p.dllp_bytes_per_tlp);
+    EXPECT_EQ(pcie.maxPayload(), 4096u);
+}
+
+TEST(PcieProtocolTest, PayloadIsDwPadded)
+{
+    PcieProtocol pcie(PcieGen::gen4);
+    EXPECT_EQ(pcie.payloadOnWire(0, 4), 4u);
+    EXPECT_EQ(pcie.payloadOnWire(0, 1), 4u);
+    EXPECT_EQ(pcie.payloadOnWire(0, 5), 8u);
+    // Misaligned access covers an extra DW.
+    EXPECT_EQ(pcie.payloadOnWire(2, 4), 8u);
+    EXPECT_EQ(pcie.payloadOnWire(0, 128), 128u);
+    EXPECT_EQ(pcie.payloadOnWire(0, 0), 0u);
+}
+
+TEST(PcieProtocolTest, GoodputIncreasesWithSize)
+{
+    PcieProtocol pcie(PcieGen::gen4);
+    double prev = 0.0;
+    for (std::uint64_t size : {4, 8, 16, 32, 64, 128, 256, 1024, 4096}) {
+        double g = pcie.goodput(size);
+        EXPECT_GT(g, prev) << "size " << size;
+        EXPECT_LT(g, 1.0);
+        prev = g;
+    }
+}
+
+TEST(PcieProtocolTest, SmallStoresRoughlyHalfAsEfficientAs128B)
+{
+    // Figure 2 / Section I: "32B transfers are roughly half as
+    // efficient as transfers of 128B or larger".
+    PcieProtocol pcie(PcieGen::gen4);
+    double ratio = pcie.goodput(32) / pcie.goodput(4096);
+    EXPECT_GT(ratio, 0.35);
+    EXPECT_LT(ratio, 0.65);
+}
+
+TEST(PcieProtocolTest, BulkTransfersNearPeak)
+{
+    PcieProtocol pcie(PcieGen::gen4);
+    EXPECT_GT(pcie.goodput(4096), 0.98);
+    // Multi-TLP transfers keep the per-TLP overheads.
+    EXPECT_GT(pcie.goodput(1 << 20), 0.98);
+    EXPECT_LT(pcie.goodput(1 << 20), 1.0);
+}
+
+TEST(PcieProtocolTest, StoreWireBytesComposition)
+{
+    PcieProtocol pcie(PcieGen::gen4);
+    EXPECT_EQ(pcie.storeWireBytes(0, 8),
+              pcie.tlpOverhead() + 8);
+    EXPECT_EQ(pcie.storeWireBytes(0, 7),
+              pcie.tlpOverhead() + 8); // padded
+}
+
+TEST(PcieProtocolTest, OversizedStorePanics)
+{
+    PcieProtocol pcie(PcieGen::gen4);
+    EXPECT_THROW(pcie.storeWireBytes(0, 8192), common::SimError);
+}
+
+TEST(PcieProtocolTest, BytesPerTickConsistent)
+{
+    PcieProtocol pcie(PcieGen::gen4);
+    // 32 GB/s = 0.032 bytes per picosecond tick.
+    EXPECT_NEAR(pcie.bytesPerTick(), 0.032, 1e-9);
+}
+
+TEST(NvlinkProtocolTest, ByteEnableFlitRule)
+{
+    NvlinkProtocol nvlink;
+    // Flit-aligned multiples of the flit size need no BE flit.
+    EXPECT_FALSE(nvlink.needsByteEnableFlit(0, 16));
+    EXPECT_FALSE(nvlink.needsByteEnableFlit(32, 64));
+    // Partial or misaligned coverage needs one.
+    EXPECT_TRUE(nvlink.needsByteEnableFlit(0, 8));
+    EXPECT_TRUE(nvlink.needsByteEnableFlit(8, 16));
+    EXPECT_TRUE(nvlink.needsByteEnableFlit(0, 24));
+}
+
+TEST(NvlinkProtocolTest, GoodputSpikesAtFlitMultiples)
+{
+    // Footnote 1: NVLink may or may not send a byte-enable flit based
+    // on size and alignment, producing goodput spikes.
+    NvlinkProtocol nvlink;
+    double g16 = nvlink.goodput(16);
+    double g24 = nvlink.goodput(24);
+    double g32 = nvlink.goodput(32);
+    EXPECT_GT(g16, g24); // 16 B aligned beats the larger 24 B write
+    EXPECT_GT(g32, g24);
+}
+
+TEST(NvlinkProtocolTest, WireBytesAreWholeFlits)
+{
+    NvlinkProtocol nvlink;
+    for (std::uint64_t size : {1, 8, 16, 31, 32, 100, 256}) {
+        EXPECT_EQ(nvlink.storeWireBytes(0, size) % 16, 0u)
+            << "size " << size;
+    }
+}
+
+TEST(NvlinkProtocolTest, SmallStoreEfficiencySimilarToPcie)
+{
+    // Section IV-C: "the small packet efficiency of PCIe and NVLink is
+    // similar for sub-cache line stores".
+    PcieProtocol pcie(PcieGen::gen4);
+    NvlinkProtocol nvlink;
+    for (std::uint64_t size : {8, 32}) {
+        double ratio = nvlink.goodput(size) / pcie.goodput(size);
+        EXPECT_GT(ratio, 0.5) << "size " << size;
+        EXPECT_LT(ratio, 2.0) << "size " << size;
+    }
+}
+
+TEST(MessageKindTest, ToStringCoversAllKinds)
+{
+    EXPECT_STREQ(toString(MessageKind::raw_store), "raw-store");
+    EXPECT_STREQ(toString(MessageKind::finepack_packet), "finepack");
+    EXPECT_STREQ(toString(MessageKind::dma_chunk), "dma");
+    EXPECT_STREQ(toString(MessageKind::write_combine_line), "wc-line");
+    EXPECT_STREQ(toString(MessageKind::atomic_op), "atomic");
+}
+
+TEST(PcieGenTest, ToStringNames)
+{
+    EXPECT_STREQ(toString(PcieGen::gen4), "PCIe 4.0");
+    EXPECT_STREQ(toString(PcieGen::gen6), "PCIe 6.0");
+}

@@ -1,0 +1,160 @@
+/** Unit tests for the switched star fabric. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/logging.hh"
+#include "interconnect/topology.hh"
+
+using namespace fp;
+using namespace fp::icn;
+
+namespace {
+
+WireMessagePtr
+makeMessage(GpuId src, GpuId dst, std::uint64_t bytes)
+{
+    auto msg = std::make_shared<WireMessage>();
+    msg->src = src;
+    msg->dst = dst;
+    msg->payload_bytes = bytes;
+    msg->header_bytes = 0;
+    msg->data_bytes = bytes;
+    return msg;
+}
+
+struct Fixture
+{
+    common::EventQueue queue;
+    FabricParams params;
+    std::unique_ptr<SwitchedFabric> fabric;
+    std::vector<std::vector<std::pair<GpuId, Tick>>> received;
+
+    explicit Fixture(std::uint32_t gpus = 4)
+    {
+        params.bytes_per_tick = 1.0;
+        params.link_latency = 10;
+        params.switch_latency = 5;
+        fabric = std::make_unique<SwitchedFabric>("fab", queue, gpus,
+                                                  params);
+        received.resize(gpus);
+        for (GpuId g = 0; g < gpus; ++g) {
+            fabric->setIngressHandler(
+                g, [this, g](const WireMessagePtr &msg) {
+                    received[g].emplace_back(msg->src, queue.now());
+                });
+        }
+    }
+};
+
+} // namespace
+
+TEST(TopologyTest, RoutesToCorrectDestination)
+{
+    Fixture f;
+    f.fabric->inject(makeMessage(0, 2, 100));
+    f.queue.run();
+    EXPECT_TRUE(f.received[1].empty());
+    EXPECT_TRUE(f.received[3].empty());
+    ASSERT_EQ(f.received[2].size(), 1u);
+    EXPECT_EQ(f.received[2][0].first, 0u);
+}
+
+TEST(TopologyTest, TwoHopTiming)
+{
+    Fixture f;
+    f.fabric->inject(makeMessage(0, 1, 100));
+    f.queue.run();
+    // Uplink: 100 ticks serialize + 15 (wire + switch), then downlink:
+    // 100 serialize + 10 wire.
+    ASSERT_EQ(f.received[1].size(), 1u);
+    EXPECT_EQ(f.received[1][0].second, 100u + 15u + 100u + 10u);
+}
+
+TEST(TopologyTest, UplinkSharedBySameSourceTraffic)
+{
+    Fixture f;
+    // Two messages from GPU 0 to different destinations share 0's
+    // uplink and serialize there.
+    f.fabric->inject(makeMessage(0, 1, 100));
+    f.fabric->inject(makeMessage(0, 2, 100));
+    f.queue.run();
+    ASSERT_EQ(f.received[1].size(), 1u);
+    ASSERT_EQ(f.received[2].size(), 1u);
+    EXPECT_EQ(f.received[1][0].second, 225u);
+    EXPECT_EQ(f.received[2][0].second, 325u); // queued on the uplink
+}
+
+TEST(TopologyTest, DownlinkContentionFromManySources)
+{
+    Fixture f;
+    // Different uplinks, same destination: contention at 3's downlink.
+    f.fabric->inject(makeMessage(0, 3, 100));
+    f.fabric->inject(makeMessage(1, 3, 100));
+    f.queue.run();
+    ASSERT_EQ(f.received[3].size(), 2u);
+    Tick first = f.received[3][0].second;
+    Tick second = f.received[3][1].second;
+    EXPECT_EQ(first, 225u);
+    // The second message arrives at the switch at the same time but
+    // must wait for the downlink to free.
+    EXPECT_EQ(second, 325u);
+}
+
+TEST(TopologyTest, DistinctPairsFlowInParallel)
+{
+    Fixture f;
+    f.fabric->inject(makeMessage(0, 1, 100));
+    f.fabric->inject(makeMessage(2, 3, 100));
+    f.queue.run();
+    // No shared links: both take the unloaded time.
+    EXPECT_EQ(f.received[1][0].second, 225u);
+    EXPECT_EQ(f.received[3][0].second, 225u);
+}
+
+TEST(TopologyTest, SelfSendPanics)
+{
+    Fixture f;
+    EXPECT_THROW(f.fabric->inject(makeMessage(1, 1, 10)),
+                 common::SimError);
+}
+
+TEST(TopologyTest, BadGpuIdPanics)
+{
+    Fixture f;
+    EXPECT_THROW(f.fabric->inject(makeMessage(0, 9, 10)),
+                 common::SimError);
+}
+
+TEST(TopologyTest, InjectedBytesCountedOncePerMessage)
+{
+    Fixture f;
+    f.fabric->inject(makeMessage(0, 1, 64));
+    f.fabric->inject(makeMessage(2, 1, 64));
+    f.queue.run();
+    EXPECT_EQ(f.fabric->totalInjectedWireBytes(), 128u);
+    // Downlink 1 carried both messages.
+    EXPECT_EQ(f.fabric->downlink(1).totalWireBytes(), 128u);
+    EXPECT_EQ(f.fabric->downlink(0).totalWireBytes(), 0u);
+}
+
+TEST(TopologyTest, PcieFabricParamsMatchProtocol)
+{
+    FabricParams params = FabricParams::forPcie(PcieGen::gen4);
+    EXPECT_NEAR(params.bytes_per_tick, 0.032, 1e-9);
+    FabricParams params6 = FabricParams::forPcie(PcieGen::gen6);
+    EXPECT_NEAR(params6.bytes_per_tick / params.bytes_per_tick, 4.0,
+                1e-9);
+}
+
+TEST(TopologyTest, BusyUntilTracksLatestLink)
+{
+    Fixture f;
+    EXPECT_EQ(f.fabric->busyUntil(), 0u);
+    f.fabric->inject(makeMessage(0, 1, 100));
+    EXPECT_EQ(f.fabric->busyUntil(), 100u); // uplink busy
+    f.queue.run();
+    EXPECT_GE(f.fabric->busyUntil(), 215u); // downlink finished later
+}

@@ -1,0 +1,204 @@
+/** Unit tests for trace structures, intervals, and serialization. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gpu/warp_coalescer.hh"
+#include "trace/store_stream.hh"
+#include "trace/trace.hh"
+
+using namespace fp;
+using namespace fp::trace;
+
+TEST(IntervalSetTest, MergesOverlapsAndAdjacency)
+{
+    IntervalSet set;
+    set.add(0, 10);
+    set.add(5, 10);  // overlap
+    set.add(15, 5);  // adjacent
+    set.add(100, 1); // disjoint
+    EXPECT_EQ(set.totalBytes(), 21u);
+    EXPECT_EQ(set.intervalCount(), 2u);
+}
+
+TEST(IntervalSetTest, ContainsQueries)
+{
+    IntervalSet set;
+    set.add(10, 10);
+    EXPECT_TRUE(set.contains(10));
+    EXPECT_TRUE(set.contains(19));
+    EXPECT_FALSE(set.contains(20));
+    EXPECT_FALSE(set.contains(9));
+    EXPECT_FALSE(set.contains(0));
+}
+
+TEST(IntervalSetTest, IntersectionBytes)
+{
+    IntervalSet a, b;
+    a.add(0, 100);
+    a.add(200, 50);
+    b.add(50, 100); // overlaps [50,100) of the first span
+    b.add(240, 100); // overlaps [240,250) of the second
+    EXPECT_EQ(a.intersectBytes(b), 50u + 10u);
+    // Symmetric.
+    EXPECT_EQ(b.intersectBytes(a), 60u);
+}
+
+TEST(IntervalSetTest, EmptySetBehaviour)
+{
+    IntervalSet a, b;
+    EXPECT_EQ(a.totalBytes(), 0u);
+    EXPECT_EQ(a.intersectBytes(b), 0u);
+    EXPECT_FALSE(a.contains(0));
+    a.add(0, 0); // zero-size add is a no-op
+    EXPECT_EQ(a.totalBytes(), 0u);
+}
+
+TEST(UpdateSummaryTest, UniqueAndUsefulBytes)
+{
+    IterationWork iter;
+    iter.per_gpu.resize(2);
+    iter.consumed.resize(2);
+    // GPU 0 stores to GPU 1: two overlapping 8 B stores + one far one.
+    iter.per_gpu[0].remote_stores.emplace_back(0x1000, 8, 0, 1);
+    iter.per_gpu[0].remote_stores.emplace_back(0x1004, 8, 0, 1);
+    iter.per_gpu[0].remote_stores.emplace_back(0x9000, 8, 0, 1);
+    // GPU 1 only reads the first region.
+    iter.consumed[1].push_back(icn::AddrRange{0x1000, 64});
+
+    UpdateSummary summary = summarizeUpdates(iter, 1);
+    EXPECT_EQ(summary.unique_bytes, 12u + 8u);
+    EXPECT_EQ(summary.useful_bytes, 12u);
+
+    // Nothing was sent to GPU 0.
+    UpdateSummary none = summarizeUpdates(iter, 0);
+    EXPECT_EQ(none.unique_bytes, 0u);
+    EXPECT_EQ(none.useful_bytes, 0u);
+}
+
+TEST(UpdateSummaryTest, MultipleSourcesAggregate)
+{
+    IterationWork iter;
+    iter.per_gpu.resize(3);
+    iter.consumed.resize(3);
+    iter.per_gpu[0].remote_stores.emplace_back(0x100, 8, 0, 2);
+    iter.per_gpu[1].remote_stores.emplace_back(0x104, 8, 1, 2);
+    iter.consumed[2].push_back(icn::AddrRange{0x100, 16});
+    UpdateSummary summary = summarizeUpdates(iter, 2);
+    EXPECT_EQ(summary.unique_bytes, 12u); // merged overlap
+    EXPECT_EQ(summary.useful_bytes, 12u);
+}
+
+TEST(StoreStreamTest, LaneWritesFormWarps)
+{
+    gpu::WarpCoalescer coalescer;
+    std::vector<icn::Store> sink;
+    {
+        StoreStreamBuilder stream(0, sink, coalescer, 8);
+        for (int i = 0; i < 8; ++i)
+            stream.laneWrite(1, 0x1000 + i * 8, 8);
+        // Warp filled (8 lanes) -> flushed automatically.
+        EXPECT_EQ(sink.size(), 1u);
+        EXPECT_EQ(sink[0].size, 64u);
+    }
+}
+
+TEST(StoreStreamTest, DestinationChangeFlushesWarp)
+{
+    gpu::WarpCoalescer coalescer;
+    std::vector<icn::Store> sink;
+    StoreStreamBuilder stream(0, sink, coalescer, 32);
+    stream.laneWrite(1, 0x1000, 8);
+    stream.laneWrite(2, 0x2000, 8); // different destination
+    stream.flushWarp();
+    ASSERT_EQ(sink.size(), 2u);
+    EXPECT_EQ(sink[0].dst, 1u);
+    EXPECT_EQ(sink[1].dst, 2u);
+}
+
+TEST(StoreStreamTest, ScalarWritesNeverCoalesceTogether)
+{
+    gpu::WarpCoalescer coalescer;
+    std::vector<icn::Store> sink;
+    StoreStreamBuilder stream(0, sink, coalescer, 32);
+    stream.scalarWrite(1, 0x1000, 8);
+    stream.scalarWrite(1, 0x1008, 8); // adjacent, but separate op
+    EXPECT_EQ(sink.size(), 2u);
+    EXPECT_EQ(sink[0].size, 8u);
+    EXPECT_EQ(sink[1].size, 8u);
+}
+
+TEST(StoreStreamTest, DestructorFlushesPending)
+{
+    gpu::WarpCoalescer coalescer;
+    std::vector<icn::Store> sink;
+    {
+        StoreStreamBuilder stream(0, sink, coalescer, 32);
+        stream.laneWrite(1, 0x1000, 8);
+    }
+    EXPECT_EQ(sink.size(), 1u);
+}
+
+TEST(TraceSerializationTest, RoundTrip)
+{
+    WorkloadTrace trace;
+    trace.workload = "unit";
+    trace.comm_pattern = "peer-to-peer";
+    trace.num_gpus = 2;
+    IterationWork iter;
+    iter.per_gpu.resize(2);
+    iter.per_gpu[0].flops = 123.5;
+    iter.per_gpu[0].local_bytes = 9999;
+    iter.per_gpu[0].dma_extra_local_bytes = 42;
+    iter.per_gpu[0].remote_stores.emplace_back(0x1000, 16, 0, 1);
+    iter.per_gpu[0].remote_stores.back().is_atomic = true;
+    iter.per_gpu[0].dma_copies.push_back(
+        DmaCopy{1, icn::AddrRange{0x2000, 64}});
+    iter.consumed.resize(2);
+    iter.consumed[1].push_back(icn::AddrRange{0x1000, 16});
+    trace.iterations.push_back(iter);
+    trace.single_gpu_work.emplace_back(246.0, 20000u);
+
+    std::stringstream buffer;
+    writeTrace(trace, buffer);
+    WorkloadTrace copy = readTrace(buffer);
+
+    EXPECT_EQ(copy.workload, "unit");
+    EXPECT_EQ(copy.comm_pattern, "peer-to-peer");
+    EXPECT_EQ(copy.num_gpus, 2u);
+    ASSERT_EQ(copy.numIterations(), 1u);
+    const auto &gpu0 = copy.iterations[0].per_gpu[0];
+    EXPECT_DOUBLE_EQ(gpu0.flops, 123.5);
+    EXPECT_EQ(gpu0.local_bytes, 9999u);
+    EXPECT_EQ(gpu0.dma_extra_local_bytes, 42u);
+    ASSERT_EQ(gpu0.remote_stores.size(), 1u);
+    EXPECT_EQ(gpu0.remote_stores[0].addr, 0x1000u);
+    EXPECT_TRUE(gpu0.remote_stores[0].is_atomic);
+    ASSERT_EQ(gpu0.dma_copies.size(), 1u);
+    EXPECT_EQ(gpu0.dma_copies[0].range.size, 64u);
+    ASSERT_EQ(copy.iterations[0].consumed[1].size(), 1u);
+    EXPECT_DOUBLE_EQ(copy.single_gpu_work[0].first, 246.0);
+}
+
+TEST(TraceSerializationTest, BadMagicPanics)
+{
+    std::stringstream buffer;
+    buffer << "not a trace at all";
+    EXPECT_THROW(readTrace(buffer), common::SimError);
+}
+
+TEST(TraceTotalsTest, StoreCountsAndBytes)
+{
+    WorkloadTrace trace;
+    trace.num_gpus = 2;
+    IterationWork iter;
+    iter.per_gpu.resize(2);
+    iter.consumed.resize(2);
+    iter.per_gpu[0].remote_stores.emplace_back(0x0, 8, 0, 1);
+    iter.per_gpu[1].remote_stores.emplace_back(0x8, 24, 1, 0);
+    trace.iterations.push_back(iter);
+    trace.iterations.push_back(iter);
+    EXPECT_EQ(trace.totalRemoteStores(), 4u);
+    EXPECT_EQ(trace.totalRemoteStoreBytes(), 64u);
+}

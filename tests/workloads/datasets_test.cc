@@ -1,0 +1,132 @@
+/** Unit tests for the synthetic dataset generators. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workloads/datasets.hh"
+
+using namespace fp;
+using namespace fp::workloads;
+
+TEST(BandedGraphTest, EdgesStayWithinBand)
+{
+    const std::uint64_t n = 4096, bw = 256;
+    Graph g = makeBandedGraph(n, 8, bw, 7);
+    EXPECT_EQ(g.num_nodes, n);
+    EXPECT_GT(g.numEdges(), n * 4); // close to degree 8 minus dedup
+    for (std::uint64_t u = 0; u < n; ++u) {
+        for (std::uint64_t e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+            std::uint64_t v = g.targets[e];
+            EXPECT_NE(v, u);
+            std::uint64_t dist = v > u ? v - u : u - v;
+            EXPECT_LE(dist, bw) << "edge " << u << "->" << v;
+        }
+    }
+}
+
+TEST(BandedGraphTest, CsrWellFormedAndSorted)
+{
+    Graph g = makeBandedGraph(1024, 6, 128, 11);
+    ASSERT_EQ(g.offsets.size(), g.num_nodes + 1);
+    EXPECT_EQ(g.offsets.front(), 0u);
+    EXPECT_EQ(g.offsets.back(), g.numEdges());
+    for (std::uint64_t u = 0; u < g.num_nodes; ++u) {
+        EXPECT_LE(g.offsets[u], g.offsets[u + 1]);
+        for (std::uint64_t e = g.offsets[u] + 1; e < g.offsets[u + 1];
+             ++e)
+            EXPECT_LT(g.targets[e - 1], g.targets[e]); // sorted, unique
+    }
+}
+
+TEST(BandedGraphTest, DeterministicForSeed)
+{
+    Graph a = makeBandedGraph(512, 4, 64, 99);
+    Graph b = makeBandedGraph(512, 4, 64, 99);
+    EXPECT_EQ(a.targets, b.targets);
+    Graph c = makeBandedGraph(512, 4, 64, 100);
+    EXPECT_NE(a.targets, c.targets);
+}
+
+TEST(WebGraphTest, CommunityLocalityDominates)
+{
+    const std::uint64_t n = 8192, community = 512;
+    Graph g = makeWebGraph(n, community, 6, 2, 5);
+    std::uint64_t intra = 0, inter = 0;
+    for (std::uint64_t u = 0; u < n; ++u) {
+        for (std::uint64_t e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+            if (g.targets[e] / community == u / community)
+                ++intra;
+            else
+                ++inter;
+        }
+    }
+    EXPECT_GT(intra, inter); // mostly local, some long-range
+    EXPECT_GT(inter, 0u);
+}
+
+TEST(WebGraphTest, HeavyTailedInDegree)
+{
+    const std::uint64_t n = 8192;
+    Graph g = makeWebGraph(n, 512, 4, 4, 21);
+    std::vector<std::uint64_t> in_degree(n, 0);
+    for (std::uint32_t v : g.targets)
+        ++in_degree[v];
+    std::uint64_t max_in = 0, total = 0;
+    for (auto d : in_degree) {
+        max_in = std::max(max_in, d);
+        total += d;
+    }
+    double mean = static_cast<double>(total) / static_cast<double>(n);
+    // Hub nodes attract far more than the average in-degree.
+    EXPECT_GT(static_cast<double>(max_in), 8.0 * mean);
+}
+
+TEST(GeometricGraphTest, DistanceDecay)
+{
+    const std::uint64_t n = 16384;
+    Graph g = makeGeometricGraph(n, 12, 3);
+    std::uint64_t near = 0, far = 0;
+    for (std::uint64_t u = 0; u < n; ++u) {
+        for (std::uint64_t e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+            std::uint64_t v = g.targets[e];
+            std::uint64_t dist = v > u ? v - u : u - v;
+            if (dist <= n / 64)
+                ++near;
+            else
+                ++far;
+        }
+    }
+    EXPECT_GT(near, 2 * far); // geometric locality
+}
+
+TEST(BandedSystemTest, StrictDiagonalDominance)
+{
+    BandedSystem sys = makeBandedSystem(1000, 16, 42);
+    for (std::uint64_t i : {0ull, 17ull, 500ull, 999ull}) {
+        double diag = std::abs(sys.coeff(i, 0));
+        double off = 0.0;
+        for (std::int64_t k = -16; k <= 16; ++k)
+            if (k != 0)
+                off += std::abs(sys.coeff(i, k));
+        EXPECT_GT(diag, off) << "row " << i;
+    }
+}
+
+TEST(BandedSystemTest, ZeroOutsideMatrix)
+{
+    BandedSystem sys = makeBandedSystem(100, 8, 1);
+    EXPECT_EQ(sys.coeff(0, -1), 0.0);
+    EXPECT_EQ(sys.coeff(99, 1), 0.0);
+    EXPECT_NE(sys.coeff(50, -8), 0.0);
+}
+
+TEST(BandedSystemTest, DeterministicCoefficients)
+{
+    BandedSystem a = makeBandedSystem(100, 8, 7);
+    BandedSystem b = makeBandedSystem(100, 8, 7);
+    for (std::uint64_t i = 0; i < 100; i += 13)
+        for (std::int64_t k = -8; k <= 8; ++k)
+            EXPECT_EQ(a.coeff(i, k), b.coeff(i, k));
+    EXPECT_EQ(a.rhs(42), b.rhs(42));
+}

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * fptrace - workload trace generation, inspection, and replay CLI.
+ *
+ * Subcommands:
+ *   generate <workload> <out.fpt> [--scale S] [--gpus N] [--seed X]
+ *       Execute the workload and serialize its trace to a file.
+ *   info <trace.fpt>
+ *       Print structural statistics of a serialized trace.
+ *   replay <trace.fpt> [--paradigm P] [--pcie GEN]
+ *       Simulate a serialized trace under one paradigm.
+ *   list
+ *       List the available workloads.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "sim/driver.hh"
+#include "trace/trace.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace fp;
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+           "  fptrace generate <workload> <out.fpt> [--scale S]"
+           " [--gpus N] [--seed X]\n"
+           "  fptrace info <trace.fpt>\n"
+           "  fptrace replay <trace.fpt> [--paradigm P] [--pcie 3|4|5|6]\n"
+           "  fptrace list\n";
+    return 2;
+}
+
+const char *
+argValue(int argc, char **argv, const char *flag, const char *fallback)
+{
+    for (int i = 0; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return argv[i + 1];
+    return fallback;
+}
+
+sim::Paradigm
+parseParadigm(const std::string &name)
+{
+    if (name == "p2p-stores")
+        return sim::Paradigm::p2p_stores;
+    if (name == "bulk-dma")
+        return sim::Paradigm::bulk_dma;
+    if (name == "finepack")
+        return sim::Paradigm::finepack;
+    if (name == "write-combine")
+        return sim::Paradigm::write_combine;
+    if (name == "gps")
+        return sim::Paradigm::gps;
+    if (name == "infinite-bw")
+        return sim::Paradigm::infinite_bw;
+    if (name == "single-gpu")
+        return sim::Paradigm::single_gpu;
+    fp_fatal("unknown paradigm: ", name);
+}
+
+int
+cmdGenerate(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    workloads::WorkloadParams params;
+    params.scale = std::atof(argValue(argc, argv, "--scale", "1.0"));
+    params.num_gpus = static_cast<std::uint32_t>(
+        std::atoi(argValue(argc, argv, "--gpus", "4")));
+    params.seed = static_cast<std::uint64_t>(
+        std::atoll(argValue(argc, argv, "--seed", "42")));
+
+    auto workload = workloads::createWorkload(argv[2]);
+    std::cout << "generating " << argv[2] << " (scale=" << params.scale
+              << ", gpus=" << params.num_gpus << ")...\n";
+    trace::WorkloadTrace trace = workload->generateTrace(params);
+
+    std::ofstream out(argv[3], std::ios::binary);
+    if (!out) {
+        std::cerr << "cannot open " << argv[3] << " for writing\n";
+        return 1;
+    }
+    trace::writeTrace(trace, out);
+    std::cout << "wrote " << trace.totalRemoteStores()
+              << " remote stores across " << trace.numIterations()
+              << " iterations to " << argv[3] << "\n";
+    return 0;
+}
+
+trace::WorkloadTrace
+loadTrace(const char *path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fp_fatal("cannot open trace file: ", path);
+    return trace::readTrace(in);
+}
+
+int
+cmdInfo(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    trace::WorkloadTrace trace = loadTrace(argv[2]);
+
+    std::cout << "workload:      " << trace.workload << "\n"
+              << "comm pattern:  " << trace.comm_pattern << "\n"
+              << "gpus:          " << trace.num_gpus << "\n"
+              << "iterations:    " << trace.numIterations() << "\n"
+              << "remote stores: " << trace.totalRemoteStores() << "\n"
+              << "store bytes:   " << trace.totalRemoteStoreBytes()
+              << "\n"
+              << "unique bytes:  " << trace::totalUniqueBytes(trace)
+              << "\n"
+              << "useful bytes:  " << trace::totalUsefulBytes(trace)
+              << "\n";
+
+    common::Table table("per-iteration profile");
+    table.setHeader({"iter", "stores", "store KiB", "dma KiB",
+                     "flops (M)"});
+    for (std::uint32_t i = 0; i < trace.numIterations(); ++i) {
+        const auto &iter = trace.iterations[i];
+        std::uint64_t stores = 0, bytes = 0, dma = 0;
+        double flops = 0.0;
+        for (const auto &gpu : iter.per_gpu) {
+            stores += gpu.remote_stores.size();
+            for (const auto &store : gpu.remote_stores)
+                bytes += store.size;
+            for (const auto &copy : gpu.dma_copies)
+                dma += copy.range.size;
+            flops += gpu.flops;
+        }
+        table.addRow({std::to_string(i), std::to_string(stores),
+                      std::to_string(bytes / 1024),
+                      std::to_string(dma / 1024),
+                      common::Table::num(flops / 1e6, 1)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdReplay(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    trace::WorkloadTrace trace = loadTrace(argv[2]);
+
+    sim::SimConfig config;
+    std::string gen = argValue(argc, argv, "--pcie", "4");
+    config.pcie_gen = gen == "3"   ? icn::PcieGen::gen3
+                      : gen == "5" ? icn::PcieGen::gen5
+                      : gen == "6" ? icn::PcieGen::gen6
+                                   : icn::PcieGen::gen4;
+    sim::Paradigm paradigm =
+        parseParadigm(argValue(argc, argv, "--paradigm", "finepack"));
+
+    sim::SimulationDriver driver(config);
+    sim::RunResult baseline =
+        driver.run(trace, sim::Paradigm::single_gpu);
+    sim::RunResult result = driver.run(trace, paradigm);
+
+    std::cout << "paradigm:   " << toString(paradigm) << " on "
+              << toString(config.pcie_gen) << "\n"
+              << "time:       "
+              << common::Table::num(result.totalSeconds() * 1e6, 1)
+              << " us  (1 GPU: "
+              << common::Table::num(baseline.totalSeconds() * 1e6, 1)
+              << " us, speedup "
+              << common::Table::num(
+                     static_cast<double>(baseline.total_time) /
+                         static_cast<double>(result.total_time),
+                     2)
+              << "x)\n"
+              << "wire bytes: " << result.wire_bytes << " (useful "
+              << result.useful_bytes << ", protocol "
+              << result.protocol_bytes << ", wasted "
+              << result.wasted_bytes << ")\n";
+    if (result.avg_stores_per_packet > 0.0)
+        std::cout << "packing:    "
+                  << common::Table::num(result.avg_stores_per_packet, 1)
+                  << " stores/packet over " << result.finepack_packets
+                  << " packets\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string command = argv[1];
+    if (command == "generate")
+        return cmdGenerate(argc, argv);
+    if (command == "info")
+        return cmdInfo(argc, argv);
+    if (command == "replay")
+        return cmdReplay(argc, argv);
+    if (command == "list") {
+        for (const auto &name : fp::workloads::allWorkloadNames())
+            std::cout << name << "\n";
+        return 0;
+    }
+    return usage();
+}
