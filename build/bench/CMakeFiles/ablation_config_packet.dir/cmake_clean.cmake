@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_config_packet.dir/ablation_config_packet.cpp.o"
+  "CMakeFiles/ablation_config_packet.dir/ablation_config_packet.cpp.o.d"
+  "ablation_config_packet"
+  "ablation_config_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_config_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

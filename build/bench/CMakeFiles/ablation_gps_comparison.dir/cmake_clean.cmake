@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gps_comparison.dir/ablation_gps_comparison.cpp.o"
+  "CMakeFiles/ablation_gps_comparison.dir/ablation_gps_comparison.cpp.o.d"
+  "ablation_gps_comparison"
+  "ablation_gps_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gps_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

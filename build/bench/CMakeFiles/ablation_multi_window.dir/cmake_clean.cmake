@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multi_window.dir/ablation_multi_window.cpp.o"
+  "CMakeFiles/ablation_multi_window.dir/ablation_multi_window.cpp.o.d"
+  "ablation_multi_window"
+  "ablation_multi_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multi_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nvlink_finepack.dir/ablation_nvlink_finepack.cpp.o"
+  "CMakeFiles/ablation_nvlink_finepack.dir/ablation_nvlink_finepack.cpp.o.d"
+  "ablation_nvlink_finepack"
+  "ablation_nvlink_finepack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nvlink_finepack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

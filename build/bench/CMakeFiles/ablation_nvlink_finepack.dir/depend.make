@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_nvlink_finepack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_timeout_flush.dir/ablation_timeout_flush.cpp.o"
+  "CMakeFiles/ablation_timeout_flush.dir/ablation_timeout_flush.cpp.o.d"
+  "ablation_timeout_flush"
+  "ablation_timeout_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_timeout_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

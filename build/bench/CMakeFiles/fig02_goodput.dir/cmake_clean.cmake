@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_goodput.dir/fig02_goodput.cpp.o"
+  "CMakeFiles/fig02_goodput.dir/fig02_goodput.cpp.o.d"
+  "fig02_goodput"
+  "fig02_goodput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_store_sizes.dir/fig04_store_sizes.cpp.o"
+  "CMakeFiles/fig04_store_sizes.dir/fig04_store_sizes.cpp.o.d"
+  "fig04_store_sizes"
+  "fig04_store_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_store_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_coalescing.dir/fig11_coalescing.cpp.o"
+  "CMakeFiles/fig11_coalescing.dir/fig11_coalescing.cpp.o.d"
+  "fig11_coalescing"
+  "fig11_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_finepack.dir/micro_finepack.cpp.o"
+  "CMakeFiles/micro_finepack.dir/micro_finepack.cpp.o.d"
+  "micro_finepack"
+  "micro_finepack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_finepack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

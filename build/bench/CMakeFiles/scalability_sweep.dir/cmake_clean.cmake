@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalability_sweep.dir/scalability_sweep.cpp.o"
+  "CMakeFiles/scalability_sweep.dir/scalability_sweep.cpp.o.d"
+  "scalability_sweep"
+  "scalability_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale16_gpu.dir/scale16_gpu.cpp.o"
+  "CMakeFiles/scale16_gpu.dir/scale16_gpu.cpp.o.d"
+  "scale16_gpu"
+  "scale16_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale16_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

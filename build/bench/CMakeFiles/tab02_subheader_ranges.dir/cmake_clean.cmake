@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_subheader_ranges.dir/tab02_subheader_ranges.cpp.o"
+  "CMakeFiles/tab02_subheader_ranges.dir/tab02_subheader_ranges.cpp.o.d"
+  "tab02_subheader_ranges"
+  "tab02_subheader_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_subheader_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

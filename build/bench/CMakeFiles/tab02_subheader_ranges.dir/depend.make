@@ -1,0 +1,2 @@
+# Empty dependencies file for tab02_subheader_ranges.
+# This may be replaced when dependencies are built.

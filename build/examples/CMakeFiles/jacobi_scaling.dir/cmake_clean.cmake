@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi_scaling.dir/jacobi_scaling.cpp.o"
+  "CMakeFiles/jacobi_scaling.dir/jacobi_scaling.cpp.o.d"
+  "jacobi_scaling"
+  "jacobi_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

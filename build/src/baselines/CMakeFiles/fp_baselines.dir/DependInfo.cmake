@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/gps_model.cc" "src/baselines/CMakeFiles/fp_baselines.dir/gps_model.cc.o" "gcc" "src/baselines/CMakeFiles/fp_baselines.dir/gps_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/fp_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/finepack/CMakeFiles/fp_finepack.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/fp_interconnect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

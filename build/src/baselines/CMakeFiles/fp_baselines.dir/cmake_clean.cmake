@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_baselines.dir/gps_model.cc.o"
+  "CMakeFiles/fp_baselines.dir/gps_model.cc.o.d"
+  "libfp_baselines.a"
+  "libfp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

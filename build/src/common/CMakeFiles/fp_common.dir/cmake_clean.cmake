@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_common.dir/event_queue.cc.o"
+  "CMakeFiles/fp_common.dir/event_queue.cc.o.d"
+  "CMakeFiles/fp_common.dir/logging.cc.o"
+  "CMakeFiles/fp_common.dir/logging.cc.o.d"
+  "CMakeFiles/fp_common.dir/stats.cc.o"
+  "CMakeFiles/fp_common.dir/stats.cc.o.d"
+  "CMakeFiles/fp_common.dir/table.cc.o"
+  "CMakeFiles/fp_common.dir/table.cc.o.d"
+  "libfp_common.a"
+  "libfp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

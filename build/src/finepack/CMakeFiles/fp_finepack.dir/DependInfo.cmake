@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/finepack/config.cc" "src/finepack/CMakeFiles/fp_finepack.dir/config.cc.o" "gcc" "src/finepack/CMakeFiles/fp_finepack.dir/config.cc.o.d"
+  "/root/repo/src/finepack/config_packet.cc" "src/finepack/CMakeFiles/fp_finepack.dir/config_packet.cc.o" "gcc" "src/finepack/CMakeFiles/fp_finepack.dir/config_packet.cc.o.d"
+  "/root/repo/src/finepack/nvlink_packing.cc" "src/finepack/CMakeFiles/fp_finepack.dir/nvlink_packing.cc.o" "gcc" "src/finepack/CMakeFiles/fp_finepack.dir/nvlink_packing.cc.o.d"
+  "/root/repo/src/finepack/packetizer.cc" "src/finepack/CMakeFiles/fp_finepack.dir/packetizer.cc.o" "gcc" "src/finepack/CMakeFiles/fp_finepack.dir/packetizer.cc.o.d"
+  "/root/repo/src/finepack/remote_write_queue.cc" "src/finepack/CMakeFiles/fp_finepack.dir/remote_write_queue.cc.o" "gcc" "src/finepack/CMakeFiles/fp_finepack.dir/remote_write_queue.cc.o.d"
+  "/root/repo/src/finepack/transaction.cc" "src/finepack/CMakeFiles/fp_finepack.dir/transaction.cc.o" "gcc" "src/finepack/CMakeFiles/fp_finepack.dir/transaction.cc.o.d"
+  "/root/repo/src/finepack/write_combine.cc" "src/finepack/CMakeFiles/fp_finepack.dir/write_combine.cc.o" "gcc" "src/finepack/CMakeFiles/fp_finepack.dir/write_combine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/fp_interconnect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

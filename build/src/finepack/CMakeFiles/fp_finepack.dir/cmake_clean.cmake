@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_finepack.dir/config.cc.o"
+  "CMakeFiles/fp_finepack.dir/config.cc.o.d"
+  "CMakeFiles/fp_finepack.dir/config_packet.cc.o"
+  "CMakeFiles/fp_finepack.dir/config_packet.cc.o.d"
+  "CMakeFiles/fp_finepack.dir/nvlink_packing.cc.o"
+  "CMakeFiles/fp_finepack.dir/nvlink_packing.cc.o.d"
+  "CMakeFiles/fp_finepack.dir/packetizer.cc.o"
+  "CMakeFiles/fp_finepack.dir/packetizer.cc.o.d"
+  "CMakeFiles/fp_finepack.dir/remote_write_queue.cc.o"
+  "CMakeFiles/fp_finepack.dir/remote_write_queue.cc.o.d"
+  "CMakeFiles/fp_finepack.dir/transaction.cc.o"
+  "CMakeFiles/fp_finepack.dir/transaction.cc.o.d"
+  "CMakeFiles/fp_finepack.dir/write_combine.cc.o"
+  "CMakeFiles/fp_finepack.dir/write_combine.cc.o.d"
+  "libfp_finepack.a"
+  "libfp_finepack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_finepack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/dma_engine.cc" "src/gpu/CMakeFiles/fp_gpu.dir/dma_engine.cc.o" "gcc" "src/gpu/CMakeFiles/fp_gpu.dir/dma_engine.cc.o.d"
+  "/root/repo/src/gpu/egress_port.cc" "src/gpu/CMakeFiles/fp_gpu.dir/egress_port.cc.o" "gcc" "src/gpu/CMakeFiles/fp_gpu.dir/egress_port.cc.o.d"
+  "/root/repo/src/gpu/functional_memory.cc" "src/gpu/CMakeFiles/fp_gpu.dir/functional_memory.cc.o" "gcc" "src/gpu/CMakeFiles/fp_gpu.dir/functional_memory.cc.o.d"
+  "/root/repo/src/gpu/gpu_config.cc" "src/gpu/CMakeFiles/fp_gpu.dir/gpu_config.cc.o" "gcc" "src/gpu/CMakeFiles/fp_gpu.dir/gpu_config.cc.o.d"
+  "/root/repo/src/gpu/ingress_port.cc" "src/gpu/CMakeFiles/fp_gpu.dir/ingress_port.cc.o" "gcc" "src/gpu/CMakeFiles/fp_gpu.dir/ingress_port.cc.o.d"
+  "/root/repo/src/gpu/warp_coalescer.cc" "src/gpu/CMakeFiles/fp_gpu.dir/warp_coalescer.cc.o" "gcc" "src/gpu/CMakeFiles/fp_gpu.dir/warp_coalescer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/fp_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/finepack/CMakeFiles/fp_finepack.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_gpu.dir/dma_engine.cc.o"
+  "CMakeFiles/fp_gpu.dir/dma_engine.cc.o.d"
+  "CMakeFiles/fp_gpu.dir/egress_port.cc.o"
+  "CMakeFiles/fp_gpu.dir/egress_port.cc.o.d"
+  "CMakeFiles/fp_gpu.dir/functional_memory.cc.o"
+  "CMakeFiles/fp_gpu.dir/functional_memory.cc.o.d"
+  "CMakeFiles/fp_gpu.dir/gpu_config.cc.o"
+  "CMakeFiles/fp_gpu.dir/gpu_config.cc.o.d"
+  "CMakeFiles/fp_gpu.dir/ingress_port.cc.o"
+  "CMakeFiles/fp_gpu.dir/ingress_port.cc.o.d"
+  "CMakeFiles/fp_gpu.dir/warp_coalescer.cc.o"
+  "CMakeFiles/fp_gpu.dir/warp_coalescer.cc.o.d"
+  "libfp_gpu.a"
+  "libfp_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interconnect/link.cc" "src/interconnect/CMakeFiles/fp_interconnect.dir/link.cc.o" "gcc" "src/interconnect/CMakeFiles/fp_interconnect.dir/link.cc.o.d"
+  "/root/repo/src/interconnect/protocol.cc" "src/interconnect/CMakeFiles/fp_interconnect.dir/protocol.cc.o" "gcc" "src/interconnect/CMakeFiles/fp_interconnect.dir/protocol.cc.o.d"
+  "/root/repo/src/interconnect/topology.cc" "src/interconnect/CMakeFiles/fp_interconnect.dir/topology.cc.o" "gcc" "src/interconnect/CMakeFiles/fp_interconnect.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

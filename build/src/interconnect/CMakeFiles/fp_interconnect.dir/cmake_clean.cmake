@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_interconnect.dir/link.cc.o"
+  "CMakeFiles/fp_interconnect.dir/link.cc.o.d"
+  "CMakeFiles/fp_interconnect.dir/protocol.cc.o"
+  "CMakeFiles/fp_interconnect.dir/protocol.cc.o.d"
+  "CMakeFiles/fp_interconnect.dir/topology.cc.o"
+  "CMakeFiles/fp_interconnect.dir/topology.cc.o.d"
+  "libfp_interconnect.a"
+  "libfp_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

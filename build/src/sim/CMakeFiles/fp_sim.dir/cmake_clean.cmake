@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_sim.dir/driver.cc.o"
+  "CMakeFiles/fp_sim.dir/driver.cc.o.d"
+  "CMakeFiles/fp_sim.dir/trace_cache.cc.o"
+  "CMakeFiles/fp_sim.dir/trace_cache.cc.o.d"
+  "libfp_sim.a"
+  "libfp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

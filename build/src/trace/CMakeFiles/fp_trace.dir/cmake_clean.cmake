@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_trace.dir/store_stream.cc.o"
+  "CMakeFiles/fp_trace.dir/store_stream.cc.o.d"
+  "CMakeFiles/fp_trace.dir/trace.cc.o"
+  "CMakeFiles/fp_trace.dir/trace.cc.o.d"
+  "libfp_trace.a"
+  "libfp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/als.cc" "src/workloads/CMakeFiles/fp_workloads.dir/als.cc.o" "gcc" "src/workloads/CMakeFiles/fp_workloads.dir/als.cc.o.d"
+  "/root/repo/src/workloads/ct.cc" "src/workloads/CMakeFiles/fp_workloads.dir/ct.cc.o" "gcc" "src/workloads/CMakeFiles/fp_workloads.dir/ct.cc.o.d"
+  "/root/repo/src/workloads/datasets.cc" "src/workloads/CMakeFiles/fp_workloads.dir/datasets.cc.o" "gcc" "src/workloads/CMakeFiles/fp_workloads.dir/datasets.cc.o.d"
+  "/root/repo/src/workloads/diffusion.cc" "src/workloads/CMakeFiles/fp_workloads.dir/diffusion.cc.o" "gcc" "src/workloads/CMakeFiles/fp_workloads.dir/diffusion.cc.o.d"
+  "/root/repo/src/workloads/eqwp.cc" "src/workloads/CMakeFiles/fp_workloads.dir/eqwp.cc.o" "gcc" "src/workloads/CMakeFiles/fp_workloads.dir/eqwp.cc.o.d"
+  "/root/repo/src/workloads/hit.cc" "src/workloads/CMakeFiles/fp_workloads.dir/hit.cc.o" "gcc" "src/workloads/CMakeFiles/fp_workloads.dir/hit.cc.o.d"
+  "/root/repo/src/workloads/jacobi.cc" "src/workloads/CMakeFiles/fp_workloads.dir/jacobi.cc.o" "gcc" "src/workloads/CMakeFiles/fp_workloads.dir/jacobi.cc.o.d"
+  "/root/repo/src/workloads/pagerank.cc" "src/workloads/CMakeFiles/fp_workloads.dir/pagerank.cc.o" "gcc" "src/workloads/CMakeFiles/fp_workloads.dir/pagerank.cc.o.d"
+  "/root/repo/src/workloads/sssp.cc" "src/workloads/CMakeFiles/fp_workloads.dir/sssp.cc.o" "gcc" "src/workloads/CMakeFiles/fp_workloads.dir/sssp.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/fp_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/fp_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/fp_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/finepack/CMakeFiles/fp_finepack.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/fp_interconnect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_workloads.dir/als.cc.o"
+  "CMakeFiles/fp_workloads.dir/als.cc.o.d"
+  "CMakeFiles/fp_workloads.dir/ct.cc.o"
+  "CMakeFiles/fp_workloads.dir/ct.cc.o.d"
+  "CMakeFiles/fp_workloads.dir/datasets.cc.o"
+  "CMakeFiles/fp_workloads.dir/datasets.cc.o.d"
+  "CMakeFiles/fp_workloads.dir/diffusion.cc.o"
+  "CMakeFiles/fp_workloads.dir/diffusion.cc.o.d"
+  "CMakeFiles/fp_workloads.dir/eqwp.cc.o"
+  "CMakeFiles/fp_workloads.dir/eqwp.cc.o.d"
+  "CMakeFiles/fp_workloads.dir/hit.cc.o"
+  "CMakeFiles/fp_workloads.dir/hit.cc.o.d"
+  "CMakeFiles/fp_workloads.dir/jacobi.cc.o"
+  "CMakeFiles/fp_workloads.dir/jacobi.cc.o.d"
+  "CMakeFiles/fp_workloads.dir/pagerank.cc.o"
+  "CMakeFiles/fp_workloads.dir/pagerank.cc.o.d"
+  "CMakeFiles/fp_workloads.dir/sssp.cc.o"
+  "CMakeFiles/fp_workloads.dir/sssp.cc.o.d"
+  "CMakeFiles/fp_workloads.dir/workload.cc.o"
+  "CMakeFiles/fp_workloads.dir/workload.cc.o.d"
+  "libfp_workloads.a"
+  "libfp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_gps_model_test.dir/baselines/gps_model_test.cc.o"
+  "CMakeFiles/baselines_gps_model_test.dir/baselines/gps_model_test.cc.o.d"
+  "baselines_gps_model_test"
+  "baselines_gps_model_test.pdb"
+  "baselines_gps_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_gps_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_bitutil_test.dir/common/bitutil_test.cc.o"
+  "CMakeFiles/common_bitutil_test.dir/common/bitutil_test.cc.o.d"
+  "common_bitutil_test"
+  "common_bitutil_test.pdb"
+  "common_bitutil_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_bitutil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

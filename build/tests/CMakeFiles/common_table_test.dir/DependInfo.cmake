@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/table_test.cc" "tests/CMakeFiles/common_table_test.dir/common/table_test.cc.o" "gcc" "tests/CMakeFiles/common_table_test.dir/common/table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/fp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/fp_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/finepack/CMakeFiles/fp_finepack.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/fp_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finepack_config_packet_test.dir/finepack/config_packet_test.cc.o"
+  "CMakeFiles/finepack_config_packet_test.dir/finepack/config_packet_test.cc.o.d"
+  "finepack_config_packet_test"
+  "finepack_config_packet_test.pdb"
+  "finepack_config_packet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finepack_config_packet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

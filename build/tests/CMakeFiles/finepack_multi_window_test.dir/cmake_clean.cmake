@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finepack_multi_window_test.dir/finepack/multi_window_test.cc.o"
+  "CMakeFiles/finepack_multi_window_test.dir/finepack/multi_window_test.cc.o.d"
+  "finepack_multi_window_test"
+  "finepack_multi_window_test.pdb"
+  "finepack_multi_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finepack_multi_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finepack_nvlink_packing_test.dir/finepack/nvlink_packing_test.cc.o"
+  "CMakeFiles/finepack_nvlink_packing_test.dir/finepack/nvlink_packing_test.cc.o.d"
+  "finepack_nvlink_packing_test"
+  "finepack_nvlink_packing_test.pdb"
+  "finepack_nvlink_packing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finepack_nvlink_packing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finepack_packetizer_test.dir/finepack/packetizer_test.cc.o"
+  "CMakeFiles/finepack_packetizer_test.dir/finepack/packetizer_test.cc.o.d"
+  "finepack_packetizer_test"
+  "finepack_packetizer_test.pdb"
+  "finepack_packetizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finepack_packetizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finepack_property_test.dir/finepack/property_test.cc.o"
+  "CMakeFiles/finepack_property_test.dir/finepack/property_test.cc.o.d"
+  "finepack_property_test"
+  "finepack_property_test.pdb"
+  "finepack_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finepack_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

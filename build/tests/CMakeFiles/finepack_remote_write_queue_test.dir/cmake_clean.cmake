@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finepack_remote_write_queue_test.dir/finepack/remote_write_queue_test.cc.o"
+  "CMakeFiles/finepack_remote_write_queue_test.dir/finepack/remote_write_queue_test.cc.o.d"
+  "finepack_remote_write_queue_test"
+  "finepack_remote_write_queue_test.pdb"
+  "finepack_remote_write_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finepack_remote_write_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for finepack_remote_write_queue_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finepack_write_combine_test.dir/finepack/write_combine_test.cc.o"
+  "CMakeFiles/finepack_write_combine_test.dir/finepack/write_combine_test.cc.o.d"
+  "finepack_write_combine_test"
+  "finepack_write_combine_test.pdb"
+  "finepack_write_combine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finepack_write_combine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_egress_port_test.dir/gpu/egress_port_test.cc.o"
+  "CMakeFiles/gpu_egress_port_test.dir/gpu/egress_port_test.cc.o.d"
+  "gpu_egress_port_test"
+  "gpu_egress_port_test.pdb"
+  "gpu_egress_port_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_egress_port_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

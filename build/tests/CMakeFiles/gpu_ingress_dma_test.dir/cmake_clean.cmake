@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_ingress_dma_test.dir/gpu/ingress_dma_test.cc.o"
+  "CMakeFiles/gpu_ingress_dma_test.dir/gpu/ingress_dma_test.cc.o.d"
+  "gpu_ingress_dma_test"
+  "gpu_ingress_dma_test.pdb"
+  "gpu_ingress_dma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_ingress_dma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_warp_coalescer_test.dir/gpu/warp_coalescer_test.cc.o"
+  "CMakeFiles/gpu_warp_coalescer_test.dir/gpu/warp_coalescer_test.cc.o.d"
+  "gpu_warp_coalescer_test"
+  "gpu_warp_coalescer_test.pdb"
+  "gpu_warp_coalescer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_warp_coalescer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

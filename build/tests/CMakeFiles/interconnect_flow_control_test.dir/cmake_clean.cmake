@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interconnect_flow_control_test.dir/interconnect/flow_control_test.cc.o"
+  "CMakeFiles/interconnect_flow_control_test.dir/interconnect/flow_control_test.cc.o.d"
+  "interconnect_flow_control_test"
+  "interconnect_flow_control_test.pdb"
+  "interconnect_flow_control_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interconnect_flow_control_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

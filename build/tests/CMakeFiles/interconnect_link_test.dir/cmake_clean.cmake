@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interconnect_link_test.dir/interconnect/link_test.cc.o"
+  "CMakeFiles/interconnect_link_test.dir/interconnect/link_test.cc.o.d"
+  "interconnect_link_test"
+  "interconnect_link_test.pdb"
+  "interconnect_link_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interconnect_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

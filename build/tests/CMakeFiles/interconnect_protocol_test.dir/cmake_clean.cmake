@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interconnect_protocol_test.dir/interconnect/protocol_test.cc.o"
+  "CMakeFiles/interconnect_protocol_test.dir/interconnect/protocol_test.cc.o.d"
+  "interconnect_protocol_test"
+  "interconnect_protocol_test.pdb"
+  "interconnect_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interconnect_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interconnect_topology_test.dir/interconnect/topology_test.cc.o"
+  "CMakeFiles/interconnect_topology_test.dir/interconnect/topology_test.cc.o.d"
+  "interconnect_topology_test"
+  "interconnect_topology_test.pdb"
+  "interconnect_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interconnect_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_paradigm_invariants_test.dir/sim/paradigm_invariants_test.cc.o"
+  "CMakeFiles/sim_paradigm_invariants_test.dir/sim/paradigm_invariants_test.cc.o.d"
+  "sim_paradigm_invariants_test"
+  "sim_paradigm_invariants_test.pdb"
+  "sim_paradigm_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_paradigm_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

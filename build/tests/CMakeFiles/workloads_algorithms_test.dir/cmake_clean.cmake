@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_algorithms_test.dir/workloads/algorithms_test.cc.o"
+  "CMakeFiles/workloads_algorithms_test.dir/workloads/algorithms_test.cc.o.d"
+  "workloads_algorithms_test"
+  "workloads_algorithms_test.pdb"
+  "workloads_algorithms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_datasets_test.dir/workloads/datasets_test.cc.o"
+  "CMakeFiles/workloads_datasets_test.dir/workloads/datasets_test.cc.o.d"
+  "workloads_datasets_test"
+  "workloads_datasets_test.pdb"
+  "workloads_datasets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_datasets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_workload_common_test.dir/workloads/workload_common_test.cc.o"
+  "CMakeFiles/workloads_workload_common_test.dir/workloads/workload_common_test.cc.o.d"
+  "workloads_workload_common_test"
+  "workloads_workload_common_test.pdb"
+  "workloads_workload_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_workload_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/baselines_gps_model_test[1]_include.cmake")
+include("/root/repo/build/tests/common_bitutil_test[1]_include.cmake")
+include("/root/repo/build/tests/common_event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/common_logging_test[1]_include.cmake")
+include("/root/repo/build/tests/common_random_test[1]_include.cmake")
+include("/root/repo/build/tests/common_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/common_table_test[1]_include.cmake")
+include("/root/repo/build/tests/finepack_config_packet_test[1]_include.cmake")
+include("/root/repo/build/tests/finepack_config_test[1]_include.cmake")
+include("/root/repo/build/tests/finepack_multi_window_test[1]_include.cmake")
+include("/root/repo/build/tests/finepack_nvlink_packing_test[1]_include.cmake")
+include("/root/repo/build/tests/finepack_packetizer_test[1]_include.cmake")
+include("/root/repo/build/tests/finepack_property_test[1]_include.cmake")
+include("/root/repo/build/tests/finepack_remote_write_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/finepack_write_combine_test[1]_include.cmake")
+include("/root/repo/build/tests/gpu_egress_port_test[1]_include.cmake")
+include("/root/repo/build/tests/gpu_ingress_dma_test[1]_include.cmake")
+include("/root/repo/build/tests/gpu_warp_coalescer_test[1]_include.cmake")
+include("/root/repo/build/tests/interconnect_flow_control_test[1]_include.cmake")
+include("/root/repo/build/tests/interconnect_link_test[1]_include.cmake")
+include("/root/repo/build/tests/interconnect_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/interconnect_topology_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_driver_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_paradigm_invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_datasets_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_workload_common_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fptrace.dir/fptrace.cpp.o"
+  "CMakeFiles/fptrace.dir/fptrace.cpp.o.d"
+  "fptrace"
+  "fptrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fptrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fptrace.
+# This may be replaced when dependencies are built.
