@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The invariant registry and the FP_INVARIANT macro.
+ *
+ * FP_INVARIANT states a structural property of the simulator that must
+ * hold on every execution ("the payload accounting matches the entries",
+ * "no event is scheduled in the past"). Unlike fp_assert - which guards
+ * narrow local preconditions and is always compiled in - invariants may
+ * be arbitrarily expensive to evaluate (walking a whole window's
+ * entries), so they compile to nothing unless FP_CHECK_ENABLED is
+ * defined (the FP_CHECK CMake option, default ON in Debug builds).
+ *
+ * Every evaluation is counted in the InvariantRegistry under the
+ * invariant's name, so tests can assert that a code path actually
+ * exercised the checks it claims to be covered by. A violation panics
+ * through the normal logging machinery (SimError in tests, abort in
+ * standalone binaries).
+ *
+ * This header is deliberately header-only: fp_common (the event queue)
+ * uses FP_INVARIANT, and the check library links against fp_common, so
+ * an out-of-line registry would create a library cycle.
+ */
+
+#ifndef FP_CHECK_INVARIANT_HH
+#define FP_CHECK_INVARIANT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace fp::check {
+
+/** True when FP_INVARIANT checks are compiled into this build. */
+#ifdef FP_CHECK_ENABLED
+inline constexpr bool invariants_enabled = true;
+#else
+inline constexpr bool invariants_enabled = false;
+#endif
+
+/**
+ * Counts invariant evaluations per name; a process-wide singleton so the
+ * macro can record from any translation unit without plumbing.
+ */
+class InvariantRegistry
+{
+  public:
+    static InvariantRegistry &
+    instance()
+    {
+        static InvariantRegistry registry;
+        return registry;
+    }
+
+    void
+    recordCheck(const char *name)
+    {
+        ++_counts[name];
+        ++_total;
+    }
+
+    [[noreturn]] void
+    fail(const char *name, const char *file, int line,
+         const std::string &message)
+    {
+        ++_failures;
+        common::detail::panicImpl(file, line,
+                                  std::string("[") + name + "] " + message);
+    }
+
+    /** Evaluations of one named invariant since the last reset. */
+    std::uint64_t
+    checks(const std::string &name) const
+    {
+        auto it = _counts.find(name);
+        return it == _counts.end() ? 0 : it->second;
+    }
+
+    std::uint64_t totalChecks() const { return _total; }
+    std::uint64_t failures() const { return _failures; }
+
+    /** Names seen so far with their evaluation counts. */
+    const std::map<std::string, std::uint64_t> &counts() const
+    { return _counts; }
+
+    /** Clear all counters (tests isolate themselves with this). */
+    void
+    reset()
+    {
+        _counts.clear();
+        _total = 0;
+        _failures = 0;
+    }
+
+  private:
+    InvariantRegistry() = default;
+
+    std::map<std::string, std::uint64_t> _counts;
+    std::uint64_t _total = 0;
+    std::uint64_t _failures = 0;
+};
+
+} // namespace fp::check
+
+/**
+ * Assert a named simulator-wide invariant. @p name must be a string
+ * literal (it doubles as the registry key); the remaining arguments
+ * stream into the failure message. Compiled out (while still
+ * type-checked, so both configurations keep building) unless
+ * FP_CHECK_ENABLED is defined.
+ */
+#ifdef FP_CHECK_ENABLED
+#define FP_INVARIANT(cond, name, ...)                                        \
+    do {                                                                     \
+        ::fp::check::InvariantRegistry::instance().recordCheck(name);        \
+        if (!(cond)) {                                                       \
+            ::fp::check::InvariantRegistry::instance().fail(                 \
+                name, __FILE__, __LINE__,                                    \
+                ::fp::common::detail::formatMessage(                         \
+                    "invariant '" #cond "' violated"                         \
+                    __VA_OPT__(": ", ) __VA_ARGS__));                        \
+        }                                                                    \
+    } while (0)
+#else
+#define FP_INVARIANT(cond, name, ...)                                        \
+    do {                                                                     \
+        if (false && !(cond)) {                                              \
+            (void)::fp::common::detail::formatMessage(                       \
+                name __VA_OPT__(, ) __VA_ARGS__);                            \
+        }                                                                    \
+    } while (0)
+#endif
+
+#endif // FP_CHECK_INVARIANT_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The shadow-memory protocol oracle (correctness tooling).
+ *
+ * FinePack's correctness claim (paper Section IV-B) is that the
+ * de-packetizer reconstructs *exactly* the bytes the source GPU stored,
+ * under weak-memory overwrite-in-place coalescing and sub-header
+ * splitting. The oracle verifies this end-to-end against a byte-granular
+ * reference model:
+ *
+ *  1. As an RwqObserver it replays, in causal order, every store the
+ *     remote write queue buffers into a per-destination ShadowMemory
+ *     (the last-writer-wins image of the bytes currently queued).
+ *  2. When a window flushes, the captured entries are checked against
+ *     that pending image byte-for-byte - a lost byte, a stale value
+ *     (wrong-writer-wins), or a phantom byte fails immediately - and
+ *     the flushed image is stashed as the expected outcome of the
+ *     transaction about to be packetized.
+ *  3. When the packetized wire message is emitted, its disaggregated
+ *     stores must reproduce the stashed image exactly: full coverage,
+ *     no byte twice, correct values, every sub-packet inside the
+ *     window's offset range, and the payload accounting consistent
+ *     with the sub-header geometry. This catches sub-packet splitting,
+ *     offset-encoding, and byte-enable bugs that component tests miss.
+ *  4. At end of run, verifyDrained() asserts nothing was left behind.
+ *
+ * Violations panic (SimError under tests). The oracle is runtime-
+ * attached - it works in any build type and costs nothing when absent.
+ */
+
+#ifndef FP_CHECK_PROTOCOL_ORACLE_HH
+#define FP_CHECK_PROTOCOL_ORACLE_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "check/shadow_memory.hh"
+#include "finepack/config.hh"
+#include "finepack/remote_write_queue.hh"
+#include "interconnect/message.hh"
+
+namespace fp::check {
+
+/** Byte-exact reference model for one source GPU's FinePack egress. */
+class ProtocolOracle : public finepack::RwqObserver
+{
+  public:
+    ProtocolOracle(GpuId src, const finepack::FinePackConfig &config);
+
+    // ---- RwqObserver hooks (causal order, driven by the queue) -------
+    void storeBuffered(GpuId dst, const icn::Store &store) override;
+    void windowFlushed(const finepack::FlushedPartition &flushed,
+                       finepack::FlushReason reason) override;
+
+    /**
+     * Verify one emitted finepack_packet wire message against the
+     * oldest outstanding flush for its destination (flushes packetize
+     * in FIFO order). Panics on any byte-level or structural mismatch.
+     */
+    void verifyMessage(const icn::WireMessage &msg);
+
+    /**
+     * End-of-run check: every buffered byte must have flushed and every
+     * flush must have packetized.
+     */
+    void verifyDrained() const;
+
+    GpuId src() const { return _src; }
+
+    // ---- Statistics ---------------------------------------------------
+    /** Stores replayed into the reference model. */
+    std::uint64_t storesRecorded() const { return _stores_recorded; }
+    /** Wire messages verified end-to-end. */
+    std::uint64_t transactionsVerified() const
+    { return _transactions_verified; }
+    /** Bytes whose coverage was verified (flush + packetize sides). */
+    std::uint64_t bytesVerified() const { return _bytes_verified; }
+    /** Subset of bytesVerified() with data present on both sides. */
+    std::uint64_t valueBytesVerified() const
+    { return _value_bytes_verified; }
+
+  private:
+    /** The byte image one flushed window must packetize into. */
+    struct ExpectedImage
+    {
+        Addr window_base = 0;
+        ShadowMemory image;
+        std::uint64_t packed_store_count = 0;
+    };
+
+    ShadowMemory &pendingFor(GpuId dst);
+
+    GpuId _src;
+    finepack::FinePackConfig _config;
+
+    /** Bytes currently buffered in the RWQ, per destination. */
+    std::unordered_map<GpuId, ShadowMemory> _pending;
+    /** Flushed-but-not-yet-packetized images, per destination. */
+    std::unordered_map<GpuId, std::deque<ExpectedImage>> _outstanding;
+
+    std::uint64_t _stores_recorded = 0;
+    std::uint64_t _transactions_verified = 0;
+    std::uint64_t _bytes_verified = 0;
+    std::uint64_t _value_bytes_verified = 0;
+};
+
+} // namespace fp::check
+
+#endif // FP_CHECK_PROTOCOL_ORACLE_HH

@@ -1,0 +1,101 @@
+#include "check/shadow_memory.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace fp::check {
+
+ShadowMemory::ShadowMemory(std::uint32_t line_bytes)
+    : _line_bytes(line_bytes)
+{
+    fp_assert(line_bytes > 0 && (line_bytes & (line_bytes - 1)) == 0,
+              "shadow line size must be a power of two: ", line_bytes);
+}
+
+void
+ShadowMemory::write(Addr addr, std::uint32_t size, const std::uint8_t *data)
+{
+    for (std::uint32_t i = 0; i < size; ++i) {
+        Addr byte_addr = addr + i;
+        Line &line = _lines[lineOf(byte_addr)];
+        if (line.bytes.empty())
+            line.bytes.resize(_line_bytes);
+
+        ShadowByte &byte =
+            line.bytes[static_cast<std::size_t>(byte_addr -
+                                                lineOf(byte_addr))];
+        if (!byte.present) {
+            byte.present = true;
+            ++line.live;
+            ++_population;
+        }
+        byte.has_value = data != nullptr;
+        byte.value = data ? data[i] : 0;
+    }
+}
+
+bool
+ShadowMemory::contains(Addr addr) const
+{
+    return get(addr).present;
+}
+
+ShadowByte
+ShadowMemory::get(Addr addr) const
+{
+    auto it = _lines.find(lineOf(addr));
+    if (it == _lines.end())
+        return {};
+    return it->second.bytes[static_cast<std::size_t>(addr - it->first)];
+}
+
+bool
+ShadowMemory::erase(Addr addr)
+{
+    auto it = _lines.find(lineOf(addr));
+    if (it == _lines.end())
+        return false;
+    ShadowByte &byte =
+        it->second.bytes[static_cast<std::size_t>(addr - it->first)];
+    if (!byte.present)
+        return false;
+    byte = ShadowByte{};
+    --_population;
+    if (--it->second.live == 0)
+        _lines.erase(it);
+    return true;
+}
+
+void
+ShadowMemory::clear()
+{
+    _lines.clear();
+    _population = 0;
+}
+
+std::vector<Addr>
+ShadowMemory::sampleResident(std::size_t max) const
+{
+    std::vector<Addr> line_addrs;
+    line_addrs.reserve(_lines.size());
+    for (const auto &[line_addr, line] : _lines)
+        line_addrs.push_back(line_addr);
+    std::sort(line_addrs.begin(), line_addrs.end());
+
+    std::vector<Addr> result;
+    for (Addr line_addr : line_addrs) {
+        const Line &line = _lines.at(line_addr);
+        for (std::uint32_t i = 0; i < _line_bytes; ++i) {
+            if (!line.bytes[i].present)
+                continue;
+            result.push_back(line_addr + i);
+            if (result.size() >= max)
+                return result;
+        }
+    }
+    return result;
+}
+
+} // namespace fp::check

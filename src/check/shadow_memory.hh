@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Byte-granular shadow memory for protocol verification.
+ *
+ * A sparse reference image of "which bytes are live and what value was
+ * last written to each" under last-writer-wins semantics - the legal
+ * outcome of FinePack's overwrite-in-place coalescing under the GPU
+ * weak memory model. The protocol oracle keeps one shadow per
+ * destination to model the bytes currently buffered in the remote write
+ * queue, and one per outstanding flush to model the byte image a
+ * packetized transaction must reproduce exactly.
+ *
+ * Values are optional: timing-only simulations issue stores without
+ * payload bytes, in which case the shadow tracks presence (coverage)
+ * but not content. Storage is line-block sparse (one block per aligned
+ * line actually touched) so large traces stay cheap.
+ */
+
+#ifndef FP_CHECK_SHADOW_MEMORY_HH
+#define FP_CHECK_SHADOW_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fp::check {
+
+/** The shadow state of one byte. */
+struct ShadowByte
+{
+    bool present = false;   ///< the byte is live in this shadow
+    bool has_value = false; ///< a data-carrying store wrote it
+    std::uint8_t value = 0; ///< last written value (when has_value)
+};
+
+/** A sparse, byte-granular last-writer-wins memory image. */
+class ShadowMemory
+{
+  public:
+    explicit ShadowMemory(std::uint32_t line_bytes = 128);
+
+    /**
+     * Record a write of @p size bytes at @p addr. @p data may be null
+     * (timing-only store): the bytes become present but valueless, and
+     * any previously recorded value is invalidated (the unknown write
+     * is the new last writer).
+     */
+    void write(Addr addr, std::uint32_t size, const std::uint8_t *data);
+
+    /** Is @p addr live in this shadow? */
+    bool contains(Addr addr) const;
+
+    /** Full shadow state of one byte (present=false when absent). */
+    ShadowByte get(Addr addr) const;
+
+    /** Remove one byte; returns false when it was not present. */
+    bool erase(Addr addr);
+
+    /** Number of live bytes. */
+    std::uint64_t population() const { return _population; }
+    bool empty() const { return _population == 0; }
+
+    /** Drop everything. */
+    void clear();
+
+    /**
+     * Up to @p max live byte addresses, in ascending order - failure
+     * diagnostics use this to show what a buggy path left behind.
+     */
+    std::vector<Addr> sampleResident(std::size_t max) const;
+
+    std::uint32_t lineBytes() const { return _line_bytes; }
+
+  private:
+    struct Line
+    {
+        std::vector<ShadowByte> bytes;
+        std::uint32_t live = 0;
+    };
+
+    Addr lineOf(Addr addr) const { return addr & ~Addr{_line_bytes - 1}; }
+
+    std::uint32_t _line_bytes;
+    std::unordered_map<Addr, Line> _lines;
+    std::uint64_t _population = 0;
+};
+
+} // namespace fp::check
+
+#endif // FP_CHECK_SHADOW_MEMORY_HH

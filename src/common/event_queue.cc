@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/invariant.hh"
+
 namespace fp::common {
 
 void
@@ -10,6 +12,9 @@ EventQueue::schedule(Event *event, Tick when)
     fp_assert(event != nullptr, "cannot schedule null event");
     fp_assert(!event->_scheduled,
               "event already scheduled (", event->description(), ")");
+    FP_INVARIANT(when >= _now, "event-not-in-past",
+                 "event '", event->description(), "' scheduled at ", when,
+                 " with now=", _now);
     fp_assert(when >= _now, "scheduling in the past: when=", when,
               " now=", _now);
 
@@ -52,6 +57,8 @@ EventQueue::step()
     Entry top = _queue.top();
     _queue.pop();
 
+    FP_INVARIANT(top.when >= _now, "event-time-monotonic",
+                 "next event at ", top.when, " behind now=", _now);
     fp_assert(top.when >= _now, "time went backwards");
     _now = top.when;
 

@@ -1,5 +1,6 @@
 #include "finepack/packetizer.hh"
 
+#include "check/invariant.hh"
 #include "common/bitutil.hh"
 #include "common/logging.hh"
 
@@ -22,6 +23,29 @@ Packetizer::packetize(const FlushedPartition &flushed) const
             txn.append(entry.line_addr + start, len, std::move(data));
         }
     }
+
+    // Byte conservation across packetization: every enabled byte of
+    // every entry appears in exactly one sub-packet, each entry yields
+    // at least one sub-packet, and the whole result respects the outer
+    // payload budget the queue accounted for.
+    auto entry_bytes = [&flushed]() {
+        std::uint64_t total = 0;
+        for (const QueueEntry &entry : flushed.entries)
+            total += entry.validBytes();
+        return total;
+    };
+    FP_INVARIANT(txn.dataBytes() == entry_bytes(),
+                 "packetizer-byte-conservation",
+                 "transaction carries ", txn.dataBytes(),
+                 " data bytes but the flush held ", entry_bytes());
+    FP_INVARIANT(txn.size() >= flushed.entries.size(),
+                 "packetizer-run-splitting",
+                 "fewer sub-packets (", txn.size(), ") than entries (",
+                 flushed.entries.size(), ")");
+    FP_INVARIANT(txn.rawPayloadBytes() <= _config.max_payload,
+                 "packetizer-payload-budget",
+                 "payload ", txn.rawPayloadBytes(),
+                 " exceeds the outer budget ", _config.max_payload);
 
     ++_packets;
     _sub_packets += txn.size();

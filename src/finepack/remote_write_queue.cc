@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/invariant.hh"
 #include "common/bitutil.hh"
 #include "common/logging.hh"
 
@@ -93,20 +94,43 @@ RwqWindow::accepts(const icn::Store &store) const
     // Condition (1): the store must fall inside the base+offset window.
     if (!covers(store))
         return false;
-    // Condition (2): the store plus one sub-header must fit the
-    // remaining payload budget (conservative estimate).
-    if (store.size + _config.subheader_bytes > _available_payload)
-        return false;
+    return !payloadBound(store) && !entryBound(store);
+}
+
+bool
+RwqWindow::payloadBound(const icn::Store &store) const
+{
+    // The store plus one sub-header must fit the remaining payload
+    // budget (conservative estimate).
+    return store.size + _config.subheader_bytes > _available_payload;
+}
+
+bool
+RwqWindow::entryBound(const icn::Store &store) const
+{
     // SRAM capacity: a miss needs a free entry.
     Addr line = common::alignDown(store.addr, _config.entry_bytes);
-    if (!_lookup.count(line) && _entries.size() >= _entry_budget)
-        return false;
-    return true;
+    return !_lookup.count(line) && _entries.size() >= _entry_budget;
 }
 
 void
 RwqWindow::insert(const icn::Store &store)
 {
+    // Exact payload accounting: the packed cost of all entries plus the
+    // available-payload register always reconstructs the full budget,
+    // so whatever the queue accepted is guaranteed to packetize into
+    // one outer transaction (checking builds walk every entry).
+    auto payload_accounted = [this]() {
+        std::uint64_t cost = 0;
+        for (const QueueEntry &entry : _entries)
+            cost += entry.packedCost(_config);
+        return cost + _available_payload == _config.max_payload;
+    };
+    const std::size_t entries_before = _entries.size();
+    const bool was_hit =
+        _lookup.count(common::alignDown(store.addr, _config.entry_bytes)) >
+        0;
+
     if (_entries.empty()) {
         // First store of a fresh window: the base address register
         // takes the store's address right-shifted by the offset width.
@@ -166,6 +190,22 @@ RwqWindow::insert(const icn::Store &store)
         _entries.push_back(std::move(entry));
     }
     ++_buffered_stores;
+
+    FP_INVARIANT(payload_accounted(), "rwq-payload-accounting",
+                 "entries no longer fit one outer transaction after "
+                 "inserting addr=", store.addr, " size=", store.size);
+    FP_INVARIANT(store.begin() >= windowLo() && store.end() <= windowHi(),
+                 "rwq-offset-in-window",
+                 "store addr=", store.addr, " size=", store.size,
+                 " escapes the ", _config.offsetBits(),
+                 "-bit offset window [", windowLo(), ", ", windowHi(), ")");
+    FP_INVARIANT(!was_hit || _entries.size() == entries_before,
+                 "rwq-overwrite-in-place",
+                 "a queue hit grew the entry count from ", entries_before,
+                 " to ", _entries.size());
+    FP_INVARIANT(_entries.size() <= _entry_budget, "rwq-entry-budget",
+                 "entry count ", _entries.size(), " exceeds the budget ",
+                 _entry_budget);
 }
 
 bool
@@ -307,17 +347,23 @@ RwqPartition::pushPiece(const icn::Store &store,
         if (!window.covers(store))
             continue;
         if (window.accepts(store)) {
-            window.insert(store);
+            insertObserved(window, store);
         } else {
             // Payload or entry capacity: flush this window, the store
-            // seeds its replacement.
-            bool payload_bound =
-                store.size + _config.subheader_bytes >
-                window.availablePayload();
-            recordFlush(payload_bound ? FlushReason::payload_full
-                                      : FlushReason::entries_full);
-            sink.push_back(window.take(_dst));
-            window.insert(store);
+            // seeds its replacement. Exactly these two triggers can
+            // reject a covered store - anything else means accepts()
+            // and the flush classification have drifted apart.
+            bool payload_bound = window.payloadBound(store);
+            FP_INVARIANT(payload_bound || window.entryBound(store),
+                         "rwq-flush-trigger-exclusive",
+                         "window rejected covered store addr=", store.addr,
+                         " size=", store.size,
+                         " without a capacity reason");
+            captureWindow(window,
+                          payload_bound ? FlushReason::payload_full
+                                        : FlushReason::entries_full,
+                          sink);
+            insertObserved(window, store);
         }
         touch(w);
         return;
@@ -326,7 +372,7 @@ RwqPartition::pushPiece(const icn::Store &store,
     // 2. An empty window to open?
     for (std::uint32_t w = 0; w < _windows.size(); ++w) {
         if (_windows[w].empty()) {
-            _windows[w].insert(store);
+            insertObserved(_windows[w], store);
             touch(w);
             return;
         }
@@ -335,10 +381,30 @@ RwqPartition::pushPiece(const icn::Store &store,
     // 3. All windows open elsewhere: flush the least recently used one
     //    and seed it with the incoming store.
     std::uint32_t victim = _lru.front();
-    recordFlush(FlushReason::window_violation);
-    sink.push_back(_windows[victim].take(_dst));
-    _windows[victim].insert(store);
+    captureWindow(_windows[victim], FlushReason::window_violation, sink);
+    insertObserved(_windows[victim], store);
     touch(victim);
+}
+
+void
+RwqPartition::captureWindow(RwqWindow &window, FlushReason reason,
+                            std::vector<FlushedPartition> &sink)
+{
+    FP_INVARIANT(!window.empty(), "rwq-flush-nonempty",
+                 "capturing an empty window (reason ", toString(reason),
+                 ")");
+    recordFlush(reason);
+    sink.push_back(window.take(_dst));
+    if (_observer)
+        _observer->windowFlushed(sink.back(), reason);
+}
+
+void
+RwqPartition::insertObserved(RwqWindow &window, const icn::Store &store)
+{
+    window.insert(store);
+    if (_observer)
+        _observer->storeBuffered(_dst, store);
 }
 
 void
@@ -348,8 +414,7 @@ RwqPartition::flush(FlushReason reason,
     for (std::uint32_t w : _lru) {
         if (_windows[w].empty())
             continue;
-        recordFlush(reason);
-        sink.push_back(_windows[w].take(_dst));
+        captureWindow(_windows[w], reason, sink);
     }
 }
 
@@ -549,6 +614,16 @@ RemoteWriteQueue::flushIfConflict(GpuId dst, Addr addr,
                                   std::uint32_t size, FlushReason reason)
 {
     return partition(dst).flushIfConflict(addr, size, reason);
+}
+
+void
+RemoteWriteQueue::setObserver(RwqObserver *observer)
+{
+    for (GpuId g = 0; g < _num_gpus; ++g) {
+        if (g == _self)
+            continue;
+        _partitions[g].setObserver(observer);
+    }
 }
 
 RwqPartition &

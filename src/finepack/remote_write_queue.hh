@@ -85,6 +85,27 @@ enum class FlushReason : std::uint8_t {
 const char *toString(FlushReason reason);
 
 /**
+ * Causal-order observer of remote-write-queue state changes, used by
+ * the correctness tooling (check::ProtocolOracle). The hooks fire in
+ * the exact order the hardware would commit the corresponding actions:
+ * a window that must flush to admit a store reports windowFlushed()
+ * *before* that store's storeBuffered(), so an observer replaying the
+ * stream sees the same byte images the packetizer will.
+ */
+class RwqObserver
+{
+  public:
+    virtual ~RwqObserver() = default;
+
+    /** A store (after line/window-grid splitting) merged into a window. */
+    virtual void storeBuffered(GpuId dst, const icn::Store &store) = 0;
+
+    /** A window's contents were captured for packetization. */
+    virtual void windowFlushed(const FlushedPartition &flushed,
+                               FlushReason reason) = 0;
+};
+
+/**
  * One base+offset window: the register state of Figure 8 (base address
  * register, available-payload-length register, store counter) plus its
  * share of the partition's SRAM entries.
@@ -115,6 +136,12 @@ class RwqWindow
      * conservative payload budget - plus SRAM entry capacity.
      */
     bool accepts(const icn::Store &store) const;
+
+    /** Would @p store be rejected by the payload budget alone? */
+    bool payloadBound(const icn::Store &store) const;
+
+    /** Would @p store be rejected by SRAM entry capacity alone? */
+    bool entryBound(const icn::Store &store) const;
 
     /** Insert a store; accepts(store) must be true. */
     void insert(const icn::Store &store);
@@ -211,6 +238,12 @@ class RwqPartition
     Addr windowLo() const;
     Addr windowHi() const;
 
+    /**
+     * Attach a causal-order observer (nullptr detaches). Exactly one
+     * observer at a time; the caller keeps ownership.
+     */
+    void setObserver(RwqObserver *observer) { _observer = observer; }
+
     /** Lifetime statistics. */
     std::uint64_t storesPushed() const { return _stores_pushed; }
     std::uint64_t bytesPushed() const { return _bytes_pushed; }
@@ -221,12 +254,18 @@ class RwqPartition
   private:
     void pushPiece(const icn::Store &store,
                    std::vector<FlushedPartition> &sink);
+    /** Flush @p window into @p sink, notifying the observer in order. */
+    void captureWindow(RwqWindow &window, FlushReason reason,
+                       std::vector<FlushedPartition> &sink);
+    /** Insert into @p window, notifying the observer in order. */
+    void insertObserved(RwqWindow &window, const icn::Store &store);
     void recordFlush(FlushReason reason);
     /** Move @p index to the back of the LRU order (most recent). */
     void touch(std::uint32_t index);
 
     GpuId _dst;
     FinePackConfig _config;
+    RwqObserver *_observer = nullptr;
 
     std::vector<RwqWindow> _windows;
     /** LRU order of window indices; back = most recently used. */
@@ -273,6 +312,9 @@ class RemoteWriteQueue
 
     RwqPartition &partition(GpuId dst);
     const RwqPartition &partition(GpuId dst) const;
+
+    /** Attach a causal-order observer to every partition. */
+    void setObserver(RwqObserver *observer);
 
     GpuId self() const { return _self; }
     std::uint32_t numGpus() const { return _num_gpus; }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/invariant.hh"
+#include "check/protocol_oracle.hh"
 #include "common/bitutil.hh"
 
 namespace fp::gpu {
@@ -255,9 +257,21 @@ EgressPort::sendRaw(const icn::Store &store, icn::MessageKind kind)
 }
 
 void
+EgressPort::attachOracle(check::ProtocolOracle *oracle)
+{
+    fp_assert(_mode == EgressMode::finepack,
+              "the protocol oracle requires finepack mode, not ",
+              toString(_mode));
+    _oracle = oracle;
+    _rwq->setObserver(oracle);
+}
+
+void
 EgressPort::sendFlushed(const finepack::FlushedPartition &flushed)
 {
     icn::WireMessagePtr msg = _packetizer->toMessage(flushed, _protocol);
+    if (_oracle)
+        _oracle->verifyMessage(*msg);
     ++_messages_sent;
     _stores_folded += static_cast<double>(flushed.packed_store_count);
     _fabric.inject(msg);
@@ -275,6 +289,8 @@ EgressPort::sendWcLine(GpuId dst, const finepack::WcLine &line)
 void
 EgressPort::armTimeout(GpuId dst)
 {
+    FP_INVARIANT(_flush_timeout > 0, "egress-timeout-exclusive",
+                 "inactivity timeout armed while disabled");
     if (_timeout_armed[dst])
         return;
     _timeout_armed[dst] = true;

@@ -23,6 +23,8 @@
 #include "finepack/write_combine.hh"
 #include "interconnect/topology.hh"
 
+namespace fp::check { class ProtocolOracle; }
+
 namespace fp::gpu {
 
 /** How remote stores are transferred out of this GPU. */
@@ -81,6 +83,14 @@ class EgressPort : public common::SimObject
      */
     void notifyRemoteLoad(GpuId dst, Addr addr, std::uint32_t size);
 
+    /**
+     * Attach the shadow-memory protocol oracle (finepack mode only;
+     * nullptr detaches). The oracle observes the remote write queue in
+     * causal order and re-verifies every emitted packet byte-for-byte;
+     * the caller keeps ownership.
+     */
+    void attachOracle(check::ProtocolOracle *oracle);
+
     EgressMode mode() const { return _mode; }
     GpuId self() const { return _self; }
 
@@ -118,6 +128,7 @@ class EgressPort : public common::SimObject
 
     std::unique_ptr<finepack::RemoteWriteQueue> _rwq;
     std::unique_ptr<finepack::Packetizer> _packetizer;
+    check::ProtocolOracle *_oracle = nullptr;
     /** One write-combine buffer per destination (index = dst). */
     std::vector<std::unique_ptr<finepack::WriteCombineBuffer>> _wc;
 

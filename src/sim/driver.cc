@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "baselines/gps_model.hh"
+#include "check/invariant.hh"
+#include "check/protocol_oracle.hh"
 #include "common/logging.hh"
 #include "gpu/dma_engine.hh"
 #include "gpu/egress_port.hh"
@@ -121,6 +123,8 @@ struct SimSystem
     std::vector<std::unique_ptr<gpu::EgressPort>> egress;
     std::vector<std::unique_ptr<gpu::IngressPort>> ingress;
     std::vector<std::unique_ptr<gpu::DmaEngine>> dma;
+    /** Protocol oracles, one per GPU (SimConfig::check, finepack). */
+    std::vector<std::unique_ptr<check::ProtocolOracle>> oracles;
 };
 
 gpu::EgressMode
@@ -175,7 +179,17 @@ SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
                 gpus, egressModeFor(paradigm), _config.finepack,
                 protocol, *sys.fabric,
                 _config.finepack_flush_timeout));
+            if (_config.check && paradigm == Paradigm::finepack) {
+                sys.oracles.push_back(
+                    std::make_unique<check::ProtocolOracle>(
+                        g, _config.finepack));
+                sys.egress.back()->attachOracle(sys.oracles.back().get());
+            }
         }
+    }
+    if (_config.check && paradigm != Paradigm::finepack) {
+        fp_warn("the protocol oracle only checks the finepack paradigm; "
+                "--check is a no-op under ", toString(paradigm));
     }
 
     baselines::GpsModel gps_model(_config.gps_page_bytes);
@@ -269,13 +283,30 @@ SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
         Tick busy = latest_compute_end;
         for (const auto &port : sys.ingress)
             busy = std::max(busy, port->drainedAt());
+        FP_INVARIANT(busy >= latest_compute_end, "driver-drain-ordering",
+                     "traffic drained at ", busy,
+                     " before compute ended at ", latest_compute_end);
+        Tick iteration_start = t;
         t = busy + cfg.barrier_overhead;
         // Never schedule the next iteration before already-executed
         // bookkeeping events (the queue cannot go back in time).
         t = std::max(t, sys.queue.now());
+        FP_INVARIANT(t >= iteration_start, "driver-time-monotonic",
+                     "iteration moved time backwards: ", iteration_start,
+                     " -> ", t);
     }
 
     result.total_time = t;
+
+    // Every buffered byte must have flushed and every flush must have
+    // packetized by the end of the run (oracle end-of-run check).
+    for (const auto &oracle : sys.oracles) {
+        oracle->verifyDrained();
+        result.oracle_transactions += oracle->transactionsVerified();
+        result.oracle_stores += oracle->storesRecorded();
+        result.oracle_bytes += oracle->bytesVerified();
+        result.oracle_value_bytes += oracle->valueBytesVerified();
+    }
 
     // ---- Traffic accounting (uplinks see each message once) -----------
     std::uint64_t fp_padding = 0; // raw/finepack non-data payload bytes

@@ -43,6 +43,14 @@ struct SimConfig
     Tick finepack_flush_timeout = 0;
     /** GPS subscription granularity (bytes per tracked page). */
     std::uint64_t gps_page_bytes = 4096;
+    /**
+     * Run the shadow-memory protocol oracle alongside the simulation
+     * (finepack paradigm only; other paradigms warn and ignore it):
+     * every FinePack transaction is verified byte-for-byte against a
+     * reference model of the buffered stores. See docs/ "Correctness
+     * tooling"; the fptrace --check flag sets this.
+     */
+    bool check = false;
 
     SimConfig();
 };
@@ -82,6 +90,16 @@ struct RunResult
     std::uint64_t wc_line_wire_bytes = 0;
     /** Aggregation without address compression (Section VI-A 24%). */
     std::uint64_t uncompressed_wire_bytes = 0;
+
+    // ---- Protocol oracle results (SimConfig::check only) ---------------
+    /** FinePack transactions verified byte-for-byte. */
+    std::uint64_t oracle_transactions = 0;
+    /** Stores replayed into the oracle's reference model. */
+    std::uint64_t oracle_stores = 0;
+    /** Bytes whose coverage the oracle verified. */
+    std::uint64_t oracle_bytes = 0;
+    /** Subset of oracle_bytes value-compared (data-carrying traces). */
+    std::uint64_t oracle_value_bytes = 0;
 
     double totalSeconds() const
     { return static_cast<double>(total_time) /

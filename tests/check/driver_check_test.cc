@@ -1,0 +1,129 @@
+/**
+ * End-to-end oracle tests: replay real workload traces through the
+ * event-driven simulation with SimConfig::check enabled and assert the
+ * shadow-memory oracle verifies every FinePack transaction - including
+ * under configurations that stress splitting (tiny offset windows,
+ * multiple windows, inactivity-timeout flushes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "sim/driver.hh"
+#include "workloads/workload.hh"
+
+using namespace fp;
+
+namespace {
+
+trace::WorkloadTrace
+smallTrace(const std::string &name, std::uint32_t gpus = 4)
+{
+    auto workload = workloads::createWorkload(name);
+    workloads::WorkloadParams params;
+    params.scale = 0.05;
+    params.num_gpus = gpus;
+    params.seed = 42;
+    return workload->generateTrace(params);
+}
+
+} // namespace
+
+TEST(DriverCheckTest, OracleVerifiesJacobiReplay)
+{
+    sim::SimConfig config;
+    config.check = true;
+    sim::SimulationDriver driver(config);
+
+    trace::WorkloadTrace trace = smallTrace("jacobi");
+    sim::RunResult result = driver.run(trace, sim::Paradigm::finepack);
+
+    EXPECT_GT(result.oracle_transactions, 0u);
+    EXPECT_GT(result.oracle_stores, 0u);
+    EXPECT_GT(result.oracle_bytes, 0u);
+    EXPECT_EQ(result.oracle_transactions, result.finepack_packets);
+}
+
+TEST(DriverCheckTest, OracleVerifiesPagerankReplay)
+{
+    // Scatter-heavy pattern: many windows, many capacity flushes.
+    sim::SimConfig config;
+    config.check = true;
+    sim::SimulationDriver driver(config);
+
+    trace::WorkloadTrace trace = smallTrace("pagerank");
+    sim::RunResult result = driver.run(trace, sim::Paradigm::finepack);
+    EXPECT_GT(result.oracle_transactions, 0u);
+}
+
+TEST(DriverCheckTest, OracleVerifiesWithMultipleWindows)
+{
+    sim::SimConfig config;
+    config.check = true;
+    config.finepack.windows_per_partition = 4;
+    sim::SimulationDriver driver(config);
+
+    trace::WorkloadTrace trace = smallTrace("jacobi");
+    sim::RunResult result = driver.run(trace, sim::Paradigm::finepack);
+    EXPECT_GT(result.oracle_transactions, 0u);
+}
+
+TEST(DriverCheckTest, OracleVerifiesWithTimeoutFlushes)
+{
+    sim::SimConfig config;
+    config.check = true;
+    config.finepack_flush_timeout = 500;
+    sim::SimulationDriver driver(config);
+
+    trace::WorkloadTrace trace = smallTrace("jacobi");
+    sim::RunResult result = driver.run(trace, sim::Paradigm::finepack);
+    EXPECT_GT(result.oracle_transactions, 0u);
+}
+
+TEST(DriverCheckTest, OracleVerifiesNarrowSubheaderConfig)
+{
+    // A 3-byte sub-header leaves a 14-bit offset: windows are small, so
+    // window-violation flushes dominate and splitting is stressed.
+    sim::SimConfig config;
+    config.check = true;
+    config.finepack = finepack::configWithSubheader(3);
+    sim::SimulationDriver driver(config);
+
+    trace::WorkloadTrace trace = smallTrace("jacobi");
+    sim::RunResult result = driver.run(trace, sim::Paradigm::finepack);
+    EXPECT_GT(result.oracle_transactions, 0u);
+}
+
+TEST(DriverCheckTest, CheckMatchesUncheckedTimingExactly)
+{
+    // The oracle is an observer: enabling it must not perturb the
+    // simulated timing or traffic.
+    trace::WorkloadTrace trace = smallTrace("jacobi");
+
+    sim::SimConfig plain;
+    sim::RunResult unchecked =
+        sim::SimulationDriver(plain).run(trace, sim::Paradigm::finepack);
+
+    sim::SimConfig checked_config;
+    checked_config.check = true;
+    sim::RunResult checked = sim::SimulationDriver(checked_config)
+                                 .run(trace, sim::Paradigm::finepack);
+
+    EXPECT_EQ(checked.total_time, unchecked.total_time);
+    EXPECT_EQ(checked.wire_bytes, unchecked.wire_bytes);
+    EXPECT_EQ(checked.messages, unchecked.messages);
+    EXPECT_EQ(checked.finepack_packets, unchecked.finepack_packets);
+}
+
+TEST(DriverCheckTest, CheckIsNoOpForOtherParadigms)
+{
+    sim::SimConfig config;
+    config.check = true;
+    common::setQuiet(true);
+    sim::SimulationDriver driver(config);
+    trace::WorkloadTrace trace = smallTrace("jacobi");
+    sim::RunResult result = driver.run(trace, sim::Paradigm::p2p_stores);
+    common::setQuiet(false);
+    EXPECT_EQ(result.oracle_transactions, 0u);
+    EXPECT_GT(result.total_time, 0u);
+}

@@ -1,0 +1,122 @@
+/** Unit tests for the byte-granular shadow memory. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "check/shadow_memory.hh"
+#include "common/logging.hh"
+
+using namespace fp;
+using check::ShadowByte;
+using check::ShadowMemory;
+
+TEST(ShadowMemoryTest, StartsEmpty)
+{
+    ShadowMemory shadow;
+    EXPECT_TRUE(shadow.empty());
+    EXPECT_EQ(shadow.population(), 0u);
+    EXPECT_FALSE(shadow.contains(0x1000));
+    EXPECT_FALSE(shadow.get(0x1000).present);
+}
+
+TEST(ShadowMemoryTest, WriteMakesBytesPresentWithValues)
+{
+    ShadowMemory shadow;
+    std::uint8_t data[4] = {1, 2, 3, 4};
+    shadow.write(0x1000, 4, data);
+
+    EXPECT_EQ(shadow.population(), 4u);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        ShadowByte byte = shadow.get(0x1000 + i);
+        EXPECT_TRUE(byte.present);
+        EXPECT_TRUE(byte.has_value);
+        EXPECT_EQ(byte.value, data[i]);
+    }
+    EXPECT_FALSE(shadow.contains(0x0fff));
+    EXPECT_FALSE(shadow.contains(0x1004));
+}
+
+TEST(ShadowMemoryTest, LastWriterWins)
+{
+    ShadowMemory shadow;
+    std::uint8_t first[2] = {0xaa, 0xbb};
+    std::uint8_t second[1] = {0xcc};
+    shadow.write(0x2000, 2, first);
+    shadow.write(0x2001, 1, second);
+
+    EXPECT_EQ(shadow.population(), 2u); // overwrite, not growth
+    EXPECT_EQ(shadow.get(0x2000).value, 0xaa);
+    EXPECT_EQ(shadow.get(0x2001).value, 0xcc);
+}
+
+TEST(ShadowMemoryTest, DataLessWriteInvalidatesValue)
+{
+    ShadowMemory shadow;
+    std::uint8_t data[1] = {0x42};
+    shadow.write(0x3000, 1, data);
+    // A timing-only store is the new last writer with unknown content.
+    shadow.write(0x3000, 1, nullptr);
+
+    ShadowByte byte = shadow.get(0x3000);
+    EXPECT_TRUE(byte.present);
+    EXPECT_FALSE(byte.has_value);
+}
+
+TEST(ShadowMemoryTest, WritesSpanningLinesLandInBothBlocks)
+{
+    ShadowMemory shadow(128);
+    shadow.write(128 - 2, 4, nullptr); // straddles the line boundary
+    EXPECT_EQ(shadow.population(), 4u);
+    EXPECT_TRUE(shadow.contains(126));
+    EXPECT_TRUE(shadow.contains(127));
+    EXPECT_TRUE(shadow.contains(128));
+    EXPECT_TRUE(shadow.contains(129));
+}
+
+TEST(ShadowMemoryTest, EraseRemovesSingleBytes)
+{
+    ShadowMemory shadow;
+    shadow.write(0x1000, 3, nullptr);
+    EXPECT_TRUE(shadow.erase(0x1001));
+    EXPECT_FALSE(shadow.erase(0x1001)); // already gone
+    EXPECT_EQ(shadow.population(), 2u);
+    EXPECT_TRUE(shadow.contains(0x1000));
+    EXPECT_FALSE(shadow.contains(0x1001));
+    EXPECT_TRUE(shadow.contains(0x1002));
+
+    EXPECT_TRUE(shadow.erase(0x1000));
+    EXPECT_TRUE(shadow.erase(0x1002));
+    EXPECT_TRUE(shadow.empty());
+}
+
+TEST(ShadowMemoryTest, SampleResidentIsSortedAndBounded)
+{
+    ShadowMemory shadow;
+    shadow.write(0x5000, 2, nullptr);
+    shadow.write(0x1000, 2, nullptr);
+    shadow.write(0x3000, 1, nullptr);
+
+    auto all = shadow.sampleResident(10);
+    ASSERT_EQ(all.size(), 5u);
+    EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+    EXPECT_EQ(all.front(), 0x1000u);
+    EXPECT_EQ(all.back(), 0x5001u);
+
+    EXPECT_EQ(shadow.sampleResident(2).size(), 2u);
+}
+
+TEST(ShadowMemoryTest, ClearDropsEverything)
+{
+    ShadowMemory shadow;
+    shadow.write(0x1000, 64, nullptr);
+    shadow.clear();
+    EXPECT_TRUE(shadow.empty());
+    EXPECT_FALSE(shadow.contains(0x1000));
+}
+
+TEST(ShadowMemoryTest, RejectsNonPowerOfTwoLine)
+{
+    EXPECT_THROW(ShadowMemory(100), common::SimError);
+    EXPECT_THROW(ShadowMemory(0), common::SimError);
+}

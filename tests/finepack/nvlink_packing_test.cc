@@ -45,7 +45,6 @@ TEST(NvlinkPackingTest, PackingGainSimilarToPcie)
     // should achieve similar benefits."
     NvlinkFinePackModel model;
     icn::PcieProtocol pcie(icn::PcieGen::gen4);
-    FinePackConfig config = defaultConfig();
 
     FinePackTransaction txn = makeTransaction(42, 8);
     double nvlink_gain = model.packingGain(txn);

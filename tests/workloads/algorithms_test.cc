@@ -111,8 +111,9 @@ TEST(SsspAlgorithmTest, DistancesAreValidEstimates)
     for (std::uint64_t v = 0; v < dist.size(); ++v) {
         if (std::isfinite(dist[v])) {
             ++reached;
-            if (v != source)
+            if (v != source) {
                 EXPECT_GT(dist[v], 0.0f);
+            }
         }
     }
     EXPECT_GT(reached, dist.size() / 4);

@@ -7,8 +7,10 @@
  *       Execute the workload and serialize its trace to a file.
  *   info <trace.fpt>
  *       Print structural statistics of a serialized trace.
- *   replay <trace.fpt> [--paradigm P] [--pcie GEN]
- *       Simulate a serialized trace under one paradigm.
+ *   replay <trace.fpt> [--paradigm P] [--pcie GEN] [--check]
+ *       Simulate a serialized trace under one paradigm. With --check,
+ *       the shadow-memory protocol oracle verifies every FinePack
+ *       transaction byte-for-byte against the issued store stream.
  *   list
  *       List the available workloads.
  */
@@ -35,7 +37,8 @@ usage()
            "  fptrace generate <workload> <out.fpt> [--scale S]"
            " [--gpus N] [--seed X]\n"
            "  fptrace info <trace.fpt>\n"
-           "  fptrace replay <trace.fpt> [--paradigm P] [--pcie 3|4|5|6]\n"
+           "  fptrace replay <trace.fpt> [--paradigm P] [--pcie 3|4|5|6]"
+           " [--check]\n"
            "  fptrace list\n";
     return 2;
 }
@@ -47,6 +50,15 @@ argValue(int argc, char **argv, const char *flag, const char *fallback)
         if (std::strcmp(argv[i], flag) == 0)
             return argv[i + 1];
     return fallback;
+}
+
+bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 0; i < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    return false;
 }
 
 sim::Paradigm
@@ -165,6 +177,7 @@ cmdReplay(int argc, char **argv)
                                    : icn::PcieGen::gen4;
     sim::Paradigm paradigm =
         parseParadigm(argValue(argc, argv, "--paradigm", "finepack"));
+    config.check = hasFlag(argc, argv, "--check");
 
     sim::SimulationDriver driver(config);
     sim::RunResult baseline =
@@ -192,6 +205,12 @@ cmdReplay(int argc, char **argv)
                   << common::Table::num(result.avg_stores_per_packet, 1)
                   << " stores/packet over " << result.finepack_packets
                   << " packets\n";
+    if (config.check && paradigm == sim::Paradigm::finepack)
+        std::cout << "oracle:     verified " << result.oracle_transactions
+                  << " transactions / " << result.oracle_bytes
+                  << " bytes (" << result.oracle_value_bytes
+                  << " value-compared) across " << result.oracle_stores
+                  << " buffered stores\n";
     return 0;
 }
 

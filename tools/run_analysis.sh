@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+#
+# run_analysis.sh - the correctness-tooling gauntlet.
+#
+# Builds the simulator under AddressSanitizer and UndefinedBehaviorSanitizer
+# (with FP_CHECK invariants and -Werror enabled), runs the tier-1 test
+# suite under each, and finishes with a clang-tidy sweep over src/.
+# Any failure fails the script.
+#
+# Usage:
+#   tools/run_analysis.sh              # full gauntlet
+#   tools/run_analysis.sh --fast       # ASan only, skip UBSan and tidy
+#   FP_ANALYSIS_JOBS=4 tools/run_analysis.sh
+#
+# clang-tidy is optional: when the binary is absent the lint stage is
+# skipped with a warning (the sanitizer stages still gate).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+jobs="${FP_ANALYSIS_JOBS:-2}"
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+bold() { printf '\n\033[1m== %s ==\033[0m\n' "$*"; }
+
+run_sanitizer_stage() {
+    local preset="$1"
+    local build_dir="build-${preset}"
+
+    bold "configure + build: ${preset} (FP_CHECK=ON, FP_WERROR=ON)"
+    cmake --preset "${preset}"
+    cmake --build "${build_dir}" -j "${jobs}"
+
+    bold "tier-1 tests under ${preset}"
+    # halt_on_error: make UBSan findings fail the test run rather than
+    # scroll past; ASan aborts on error by default.
+    UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+        ctest --test-dir "${build_dir}" -L tier1 -j "${jobs}" \
+              --output-on-failure
+}
+
+run_sanitizer_stage asan
+if [[ "${fast}" -eq 0 ]]; then
+    run_sanitizer_stage ubsan
+fi
+
+if [[ "${fast}" -eq 1 ]]; then
+    bold "fast mode: skipping clang-tidy"
+    exit 0
+fi
+
+bold "clang-tidy over src/ and tools/"
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "warning: clang-tidy not installed; skipping lint stage" >&2
+    echo "         (sanitizer stages above still gate)" >&2
+    exit 0
+fi
+
+# clang-tidy needs a compilation database; reuse the default build tree.
+tidy_dir="build"
+if [[ ! -f "${tidy_dir}/compile_commands.json" ]]; then
+    cmake -B "${tidy_dir}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+fi
+
+mapfile -t sources < <(find src tools -name '*.cc' -o -name '*.cpp' | sort)
+clang-tidy -p "${tidy_dir}" --quiet --warnings-as-errors='' \
+    "${sources[@]}"
+
+bold "analysis gauntlet passed"
