@@ -14,11 +14,14 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/table.hh"
 #include "sim/driver.hh"
 #include "sim/trace_cache.hh"
@@ -66,8 +69,14 @@ geomean(const std::vector<double> &values)
     if (values.empty())
         return 0.0;
     double log_sum = 0.0;
-    for (double v : values)
+    for (double v : values) {
+        // A geometric mean is only defined over positive values; a
+        // zero or negative sample would otherwise poison the whole
+        // result with -inf / NaN.
+        if (v <= 0.0)
+            return 0.0;
         log_sum += std::log(v);
+    }
     return std::exp(log_sum / static_cast<double>(values.size()));
 }
 
@@ -81,6 +90,71 @@ mean(const std::vector<double> &values)
         sum += v;
     return sum / static_cast<double>(values.size());
 }
+
+/**
+ * Machine-readable bench output: when the binary was invoked with
+ * `--json FILE`, every metric added through add() is written to FILE as
+ * one flat JSON document
+ *
+ *     {"bench": ..., "schema_version": 1, "scale": ...,
+ *      "metrics": {name: value, ...}}
+ *
+ * alongside the human-readable tables on stdout. Without the flag the
+ * reporter is inert. Metric names are sorted in the output, so two
+ * runs of the same bench are diffable.
+ */
+class JsonReporter
+{
+  public:
+    JsonReporter(const std::string &bench, int argc, char **argv,
+                 double scale)
+        : _bench(bench), _scale(scale)
+    {
+        for (int i = 0; i + 1 < argc; ++i)
+            if (std::strcmp(argv[i], "--json") == 0)
+                _path = argv[i + 1];
+    }
+
+    bool enabled() const { return !_path.empty(); }
+
+    /** Record one metric; later add()s with the same name overwrite. */
+    void add(const std::string &name, double value)
+    { _metrics[name] = value; }
+
+    /** Write the document; no-op (returning true) when disabled. */
+    bool
+    write() const
+    {
+        if (!enabled())
+            return true;
+        std::ofstream out(_path);
+        if (!out) {
+            std::cerr << "cannot open " << _path << " for writing\n";
+            return false;
+        }
+        common::JsonWriter json(out);
+        json.beginObject();
+        json.kv("bench", _bench);
+        json.key("schema_version");
+        json.value(1);
+        json.kv("scale", _scale);
+        json.key("metrics");
+        json.beginObject();
+        for (const auto &[name, value] : _metrics)
+            json.kv(name, value);
+        json.endObject();
+        json.endObject();
+        out << "\n";
+        std::cout << "json: " << _path << "\n";
+        return true;
+    }
+
+  private:
+    std::string _bench;
+    std::string _path;
+    double _scale;
+    std::map<std::string, double> _metrics;
+};
 
 /** One app's speedups over the 1-GPU baseline for a set of paradigms. */
 inline std::map<sim::Paradigm, double>

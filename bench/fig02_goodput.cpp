@@ -6,15 +6,18 @@
 
 #include <iostream>
 
+#include "bench_common.hh"
 #include "common/table.hh"
 #include "interconnect/message.hh"
 #include "interconnect/protocol.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace fp;
     using namespace fp::icn;
+
+    bench::JsonReporter reporter("fig02_goodput", argc, argv, 1.0);
 
     PcieProtocol pcie3(PcieGen::gen3);
     PcieProtocol pcie4(PcieGen::gen4);
@@ -34,6 +37,10 @@ main()
                       common::Table::num(100.0 * pcie4.goodput(size), 1),
                       common::Table::num(100.0 * nvlink.goodput(size),
                                          1)});
+        std::string suffix = "[" + std::to_string(size) + "]";
+        reporter.add("goodput.pcie3" + suffix, pcie3.goodput(size));
+        reporter.add("goodput.pcie4" + suffix, pcie4.goodput(size));
+        reporter.add("goodput.nvlink" + suffix, nvlink.goodput(size));
     }
     table.print(std::cout);
 
@@ -46,5 +53,5 @@ main()
               << common::Table::num(nvlink.goodput(32), 3) << " vs "
               << common::Table::num(nvlink.goodput(24), 3)
               << "  (paper footnote 1: byte-enable flit spikes)\n";
-    return 0;
+    return reporter.write() ? 0 : 1;
 }

@@ -9,13 +9,14 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace fp;
     using namespace fp::bench;
     using sim::Paradigm;
 
     double scale = benchScale(1.0);
+    JsonReporter reporter("fig09_speedup", argc, argv, scale);
     sim::SimulationDriver driver;
 
     const std::vector<Paradigm> paradigms = {
@@ -35,9 +36,15 @@ main()
                       common::Table::num(result[paradigms[1]], 2),
                       common::Table::num(result[paradigms[2]], 2),
                       common::Table::num(result[paradigms[3]], 2)});
-        for (Paradigm p : paradigms)
+        for (Paradigm p : paradigms) {
             all[p].push_back(result[p]);
+            reporter.add("speedup." + app + "." + toString(p),
+                         result[p]);
+        }
     }
+    for (Paradigm p : paradigms)
+        reporter.add(std::string("speedup.geomean.") + toString(p),
+                     geomean(all[p]));
     table.addRow({"geomean", common::Table::num(geomean(all[paradigms[0]]), 2),
                   common::Table::num(geomean(all[paradigms[1]]), 2),
                   common::Table::num(geomean(all[paradigms[2]]), 2),
@@ -77,5 +84,5 @@ main()
                                         geomean(all[Paradigm::bulk_dma]),
                                     2)
               << "x (geomean)\n";
-    return 0;
+    return reporter.write() ? 0 : 1;
 }

@@ -11,13 +11,14 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace fp;
     using namespace fp::bench;
     using sim::Paradigm;
 
     double scale = benchScale(1.0);
+    JsonReporter reporter("fig10_traffic_breakdown", argc, argv, scale);
     sim::SimulationDriver driver;
 
     const std::vector<Paradigm> paradigms = {
@@ -63,6 +64,15 @@ main()
                           common::Table::num(total / dma_bytes, 2),
                           pct(r.useful_bytes), pct(r.protocol_bytes),
                           pct(r.wasted_bytes)});
+            std::string prefix =
+                std::string(toString(paradigm)) + "." + app;
+            reporter.add(prefix + ".wire_bytes", total);
+            reporter.add(prefix + ".useful_bytes",
+                         static_cast<double>(r.useful_bytes));
+            reporter.add(prefix + ".protocol_bytes",
+                         static_cast<double>(r.protocol_bytes));
+            reporter.add(prefix + ".wasted_bytes",
+                         static_cast<double>(r.wasted_bytes));
         }
     }
     table.print(std::cout);
@@ -93,5 +103,12 @@ main()
               << common::Table::num(100.0 * (1.0 - fp_total / wc_total),
                                     0)
               << "% vs full-cacheline GPS-style write combining\n";
-    return 0;
+
+    reporter.add("aggregate.p2p_over_finepack", p2p_total / fp_total);
+    reporter.add("aggregate.dma_over_finepack", dma_total / fp_total);
+    reporter.add("aggregate.saving_vs_uncompressed",
+                 1.0 - fp_total / uncompressed_total);
+    reporter.add("aggregate.saving_vs_wc_line",
+                 1.0 - fp_total / wc_line_total);
+    return reporter.write() ? 0 : 1;
 }

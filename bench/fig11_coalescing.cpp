@@ -8,12 +8,13 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace fp;
     using namespace fp::bench;
 
     double scale = benchScale(1.0);
+    JsonReporter reporter("fig11_coalescing", argc, argv, scale);
     sim::SimulationDriver driver;
 
     common::Table table(
@@ -28,13 +29,18 @@ main()
                       common::Table::num(r.avg_stores_per_packet, 1),
                       std::to_string(r.finepack_packets)});
         all.push_back(r.avg_stores_per_packet);
+        reporter.add("stores_per_packet." + app,
+                     r.avg_stores_per_packet);
+        reporter.add("packets." + app,
+                     static_cast<double>(r.finepack_packets));
     }
     table.addRow({"mean", common::Table::num(mean(all), 1), "-"});
     table.print(std::cout);
+    reporter.add("stores_per_packet.mean", mean(all));
 
     std::cout << "\nPaper shape checks: FinePack packs ~42 stores per"
                  " transaction on average;\nCT is the outlier with"
                  " minimal spatial locality and far fewer stores per"
                  " packet.\n";
-    return 0;
+    return reporter.write() ? 0 : 1;
 }

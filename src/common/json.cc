@@ -1,0 +1,170 @@
+#include "common/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace fp::common {
+
+std::string
+JsonWriter::quoted(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+void
+JsonWriter::preValue()
+{
+    if (_scopes.empty()) {
+        fp_assert(!_emitted_root, "JSON document already complete");
+        _emitted_root = true;
+        return;
+    }
+    if (_scopes.back() == Scope::object) {
+        fp_assert(_key_pending, "object member emitted without a key");
+        _key_pending = false;
+        return;
+    }
+    if (_has_member.back())
+        _os << ',';
+    _has_member.back() = true;
+}
+
+void
+JsonWriter::key(const std::string &name)
+{
+    fp_assert(!_scopes.empty() && _scopes.back() == Scope::object,
+              "key() outside an object scope");
+    fp_assert(!_key_pending, "two keys in a row");
+    if (_has_member.back())
+        _os << ',';
+    _has_member.back() = true;
+    _os << quoted(name) << ':';
+    _key_pending = true;
+}
+
+void
+JsonWriter::beginObject()
+{
+    preValue();
+    _os << '{';
+    _scopes.push_back(Scope::object);
+    _has_member.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    fp_assert(!_scopes.empty() && _scopes.back() == Scope::object,
+              "endObject() without a matching beginObject()");
+    fp_assert(!_key_pending, "dangling key at endObject()");
+    _scopes.pop_back();
+    _has_member.pop_back();
+    _os << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    preValue();
+    _os << '[';
+    _scopes.push_back(Scope::array);
+    _has_member.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    fp_assert(!_scopes.empty() && _scopes.back() == Scope::array,
+              "endArray() without a matching beginArray()");
+    _scopes.pop_back();
+    _has_member.pop_back();
+    _os << ']';
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    preValue();
+    _os << quoted(v);
+}
+
+void
+JsonWriter::value(const char *v)
+{
+    value(std::string(v));
+}
+
+void
+JsonWriter::value(double v)
+{
+    preValue();
+    if (!std::isfinite(v)) {
+        _os << "null";
+        return;
+    }
+    // Integral doubles print without an exponent or trailing zeros so
+    // counters stay readable; %.17g round-trips everything else.
+    char buf[32];
+    if (std::abs(v) < 9e15 && v == std::floor(v)) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    }
+    _os << buf;
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    preValue();
+    _os << v;
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    preValue();
+    _os << v;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    preValue();
+    _os << (v ? "true" : "false");
+}
+
+void
+JsonWriter::null()
+{
+    preValue();
+    _os << "null";
+}
+
+} // namespace fp::common

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A minimal streaming JSON writer.
+ *
+ * The observability layer (stats export, trace events, time series)
+ * emits machine-readable JSON; this writer handles the syntax - comma
+ * placement, nesting, string escaping, non-finite doubles - so the
+ * serialization code reads as schema, not as punctuation. No DOM, no
+ * allocation beyond the scope stack.
+ */
+
+#ifndef FP_COMMON_JSON_HH
+#define FP_COMMON_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fp::common {
+
+/**
+ * Streaming JSON writer over an std::ostream. Scopes must be closed in
+ * the order they were opened; every value in an object scope must be
+ * preceded by key(). Misuse panics.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : _os(os) {}
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit the key of the next object member. */
+    void key(const std::string &name);
+
+    void value(const std::string &v);
+    void value(const char *v);
+    /** Non-finite doubles serialize as null (JSON has no NaN/Inf). */
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+    void value(bool v);
+    void null();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    kv(const std::string &name, T &&v)
+    {
+        key(name);
+        value(std::forward<T>(v));
+    }
+
+    /** True once every opened scope has been closed. */
+    bool complete() const { return _scopes.empty() && _emitted_root; }
+
+    /** Escape @p s into a quoted JSON string literal. */
+    static std::string quoted(const std::string &s);
+
+  private:
+    enum class Scope : std::uint8_t { object, array };
+
+    /** Comma/validity bookkeeping before any value is emitted. */
+    void preValue();
+
+    std::ostream &_os;
+    std::vector<Scope> _scopes;
+    /** Member/element already emitted in the innermost scope? */
+    std::vector<bool> _has_member;
+    bool _key_pending = false;
+    bool _emitted_root = false;
+};
+
+} // namespace fp::common
+
+#endif // FP_COMMON_JSON_HH

@@ -10,7 +10,30 @@ namespace {
 std::atomic<bool> exceptions_enabled{true};
 std::atomic<bool> quiet{false};
 
+/** Installed by ScopedTickContext while a simulation is running. */
+std::function<std::uint64_t()> tick_source;
+
+/** "[tick N] " when a tick source is active, empty otherwise. */
+std::string
+tickPrefix()
+{
+    if (!tick_source)
+        return {};
+    return "[tick " + std::to_string(tick_source()) + "] ";
+}
+
 } // namespace
+
+ScopedTickContext::ScopedTickContext(std::function<std::uint64_t()> now)
+    : _previous(std::move(tick_source))
+{
+    tick_source = std::move(now);
+}
+
+ScopedTickContext::~ScopedTickContext()
+{
+    tick_source = std::move(_previous);
+}
 
 void
 setExceptionsEnabled(bool enable)
@@ -58,14 +81,14 @@ void
 warnImpl(const std::string &message)
 {
     if (!quiet.load())
-        std::cerr << "warn: " << message << std::endl;
+        std::cerr << "warn: " << tickPrefix() << message << std::endl;
 }
 
 void
 informImpl(const std::string &message)
 {
     if (!quiet.load())
-        std::cout << "info: " << message << std::endl;
+        std::cout << "info: " << tickPrefix() << message << std::endl;
 }
 
 } // namespace detail

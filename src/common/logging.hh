@@ -13,8 +13,10 @@
 #ifndef FP_COMMON_LOGGING_HH
 #define FP_COMMON_LOGGING_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -67,6 +69,26 @@ bool exceptionsEnabled();
 
 /** Suppress warn()/inform() output (benchmarks want quiet runs). */
 void setQuiet(bool quiet);
+
+/**
+ * While a simulation driver is running an event queue, warn()/inform()
+ * prefix their messages with the current simulated tick so diagnostics
+ * in long replays are attributable. The driver installs a tick source
+ * for the duration of a run via this RAII guard; nesting restores the
+ * previous source.
+ */
+class ScopedTickContext
+{
+  public:
+    explicit ScopedTickContext(std::function<std::uint64_t()> now);
+    ~ScopedTickContext();
+
+    ScopedTickContext(const ScopedTickContext &) = delete;
+    ScopedTickContext &operator=(const ScopedTickContext &) = delete;
+
+  private:
+    std::function<std::uint64_t()> _previous;
+};
 
 } // namespace fp::common
 

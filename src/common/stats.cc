@@ -3,8 +3,21 @@
 #include <algorithm>
 #include <cmath>
 #include <iomanip>
+#include <sstream>
+
+#include "common/json.hh"
 
 namespace fp::common {
+
+StatGroup::StatGroup(std::string name) : _name(std::move(name))
+{
+    MetricsRegistry::instance().add(this);
+}
+
+StatGroup::~StatGroup()
+{
+    MetricsRegistry::instance().remove(this);
+}
 
 void
 Distribution::sample(double v, std::uint64_t weight)
@@ -96,6 +109,15 @@ StatGroup::registerDistribution(const std::string &name,
     _distributions[name] = Named{desc, stat};
 }
 
+void
+StatGroup::registerHistogram(const std::string &name, const Histogram *stat,
+                             const std::string &desc)
+{
+    fp_assert(!_histograms.count(name),
+              "duplicate histogram stat: ", name);
+    _histograms[name] = Named{desc, stat};
+}
+
 double
 StatGroup::scalarValue(const std::string &name) const
 {
@@ -143,6 +165,135 @@ StatGroup::dump(std::ostream &os) const
         emit(name + ".mean", dist->mean(), named.desc);
         emit(name + ".count", static_cast<double>(dist->count()), "");
     }
+    for (const auto &[name, named] : _histograms) {
+        const auto *hist = static_cast<const Histogram *>(named.stat);
+        emit(name + ".total", static_cast<double>(hist->total()),
+             named.desc);
+        for (std::size_t i = 0; i < hist->edges().size(); ++i) {
+            std::ostringstream bucket;
+            bucket << name << '[' << hist->edges()[i] << ']';
+            emit(bucket.str(), static_cast<double>(hist->counts()[i]),
+                 "");
+        }
+    }
+}
+
+void
+StatGroup::dumpJson(JsonWriter &json) const
+{
+    json.beginObject();
+    json.kv("name", _name);
+
+    json.key("scalars");
+    json.beginObject();
+    for (const auto &[name, named] : _scalars) {
+        json.key(name);
+        json.beginObject();
+        json.kv("value", static_cast<const Scalar *>(named.stat)->value());
+        if (!named.desc.empty())
+            json.kv("desc", named.desc);
+        json.endObject();
+    }
+    json.endObject();
+
+    json.key("averages");
+    json.beginObject();
+    for (const auto &[name, named] : _averages) {
+        const auto *avg = static_cast<const Average *>(named.stat);
+        json.key(name);
+        json.beginObject();
+        json.kv("mean", avg->mean());
+        json.kv("sum", avg->sum());
+        json.kv("count", avg->count());
+        if (!named.desc.empty())
+            json.kv("desc", named.desc);
+        json.endObject();
+    }
+    json.endObject();
+
+    json.key("distributions");
+    json.beginObject();
+    for (const auto &[name, named] : _distributions) {
+        const auto *dist = static_cast<const Distribution *>(named.stat);
+        json.key(name);
+        json.beginObject();
+        json.kv("count", dist->count());
+        json.kv("mean", dist->mean());
+        json.kv("variance", dist->variance());
+        json.kv("min", dist->min());
+        json.kv("max", dist->max());
+        json.kv("underflow", dist->underflow());
+        json.kv("overflow", dist->overflow());
+        json.key("bucket_lo");
+        json.beginArray();
+        for (std::size_t i = 0; i < dist->buckets().size(); ++i)
+            json.value(dist->bucketLow(i));
+        json.endArray();
+        json.key("buckets");
+        json.beginArray();
+        for (std::uint64_t b : dist->buckets())
+            json.value(b);
+        json.endArray();
+        if (!named.desc.empty())
+            json.kv("desc", named.desc);
+        json.endObject();
+    }
+    json.endObject();
+
+    json.key("histograms");
+    json.beginObject();
+    for (const auto &[name, named] : _histograms) {
+        const auto *hist = static_cast<const Histogram *>(named.stat);
+        json.key(name);
+        json.beginObject();
+        json.kv("total", hist->total());
+        json.key("edges");
+        json.beginArray();
+        for (double e : hist->edges())
+            json.value(e);
+        json.endArray();
+        json.key("counts");
+        json.beginArray();
+        for (std::uint64_t c : hist->counts())
+            json.value(c);
+        json.endArray();
+        if (!named.desc.empty())
+            json.kv("desc", named.desc);
+        json.endObject();
+    }
+    json.endObject();
+
+    json.endObject();
+}
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+void
+MetricsRegistry::add(const StatGroup *group)
+{
+    _groups.push_back(group);
+}
+
+void
+MetricsRegistry::remove(const StatGroup *group)
+{
+    auto it = std::find(_groups.begin(), _groups.end(), group);
+    if (it != _groups.end())
+        _groups.erase(it);
+}
+
+void
+MetricsRegistry::dumpJson(JsonWriter &json) const
+{
+    json.beginArray();
+    for (const StatGroup *group : _groups)
+        group->dumpJson(json);
+    json.endArray();
 }
 
 } // namespace fp::common

@@ -135,15 +135,23 @@ class Histogram
     std::uint64_t _total = 0;
 };
 
+class JsonWriter;
+
 /**
  * A named collection of statistics. Non-owning: stats live in their
  * components; the group records (name, description, accessor) tuples
- * for reporting.
+ * for reporting. Every group registers itself with the process-wide
+ * MetricsRegistry for its lifetime, so the metrics exporter can walk
+ * all live groups without explicit wiring.
  */
 class StatGroup
 {
   public:
-    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+    explicit StatGroup(std::string name);
+    ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
 
     void registerScalar(const std::string &name, const Scalar *stat,
                         const std::string &desc = "");
@@ -152,6 +160,8 @@ class StatGroup
     void registerDistribution(const std::string &name,
                               const Distribution *stat,
                               const std::string &desc = "");
+    void registerHistogram(const std::string &name, const Histogram *stat,
+                           const std::string &desc = "");
 
     const std::string &name() const { return _name; }
 
@@ -165,6 +175,13 @@ class StatGroup
     /** Render all registered stats, one per line, gem5-dump style. */
     void dump(std::ostream &os) const;
 
+    /**
+     * Serialize every registered stat as one JSON object (the schema
+     * documented in docs/observability.md): name plus one sub-object
+     * per stat kind, each member keyed by stat name.
+     */
+    void dumpJson(JsonWriter &json) const;
+
   private:
     struct Named
     {
@@ -176,6 +193,35 @@ class StatGroup
     std::map<std::string, Named> _scalars;
     std::map<std::string, Named> _averages;
     std::map<std::string, Named> _distributions;
+    std::map<std::string, Named> _histograms;
+};
+
+/**
+ * Process-wide registry of all live StatGroups, in registration order.
+ * StatGroup's constructor/destructor maintain membership; the metrics
+ * exporter serializes the registry while the simulated system is still
+ * alive (components own their groups, so a torn-down system leaves the
+ * registry automatically).
+ */
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry &instance();
+
+    /** Live groups in registration order. */
+    const std::vector<const StatGroup *> &groups() const
+    { return _groups; }
+
+    /** Serialize all live groups as one JSON array of group objects. */
+    void dumpJson(JsonWriter &json) const;
+
+  private:
+    friend class StatGroup;
+
+    void add(const StatGroup *group);
+    void remove(const StatGroup *group);
+
+    std::vector<const StatGroup *> _groups;
 };
 
 } // namespace fp::common

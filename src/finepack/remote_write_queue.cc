@@ -113,9 +113,10 @@ RwqWindow::entryBound(const icn::Store &store) const
     return !_lookup.count(line) && _entries.size() >= _entry_budget;
 }
 
-void
+RwqWindow::InsertOutcome
 RwqWindow::insert(const icn::Store &store)
 {
+    InsertOutcome outcome;
     // Exact payload accounting: the packed cost of all entries plus the
     // available-payload register always reconstructs the full budget,
     // so whatever the queue accepted is guaranteed to packetize into
@@ -146,12 +147,15 @@ RwqWindow::insert(const icn::Store &store)
     if (it != _lookup.end()) {
         // Queue hit: OR the byte mask and overwrite the data in place.
         ++_queue_hits;
+        outcome.queue_hit = true;
         QueueEntry &entry = _entries[it->second];
         std::uint64_t cost_before = entry.packedCost(_config);
 
         for (std::uint32_t i = 0; i < store.size; ++i) {
-            if (entry.mask.test(offset_in_line + i))
+            if (entry.mask.test(offset_in_line + i)) {
                 ++_bytes_elided;
+                ++outcome.overwritten_bytes;
+            }
             entry.mask.set(offset_in_line + i);
             if (!store.data.empty())
                 entry.data[offset_in_line + i] = store.data[i];
@@ -206,6 +210,7 @@ RwqWindow::insert(const icn::Store &store)
     FP_INVARIANT(_entries.size() <= _entry_budget, "rwq-entry-budget",
                  "entry count ", _entries.size(), " exceeds the budget ",
                  _entry_budget);
+    return outcome;
 }
 
 bool
@@ -397,14 +402,26 @@ RwqPartition::captureWindow(RwqWindow &window, FlushReason reason,
     sink.push_back(window.take(_dst));
     if (_observer)
         _observer->windowFlushed(sink.back(), reason);
+    if (_trace_observer)
+        _trace_observer->windowFlushed(sink.back(), reason);
 }
 
 void
 RwqPartition::insertObserved(RwqWindow &window, const icn::Store &store)
 {
-    window.insert(store);
+    RwqWindow::InsertOutcome outcome = window.insert(store);
+    if (outcome.queue_hit) {
+        if (_observer)
+            _observer->storeCoalesced(_dst, store,
+                                      outcome.overwritten_bytes);
+        if (_trace_observer)
+            _trace_observer->storeCoalesced(_dst, store,
+                                            outcome.overwritten_bytes);
+    }
     if (_observer)
         _observer->storeBuffered(_dst, store);
+    if (_trace_observer)
+        _trace_observer->storeBuffered(_dst, store);
 }
 
 void
@@ -623,6 +640,16 @@ RemoteWriteQueue::setObserver(RwqObserver *observer)
         if (g == _self)
             continue;
         _partitions[g].setObserver(observer);
+    }
+}
+
+void
+RemoteWriteQueue::setTraceObserver(RwqObserver *observer)
+{
+    for (GpuId g = 0; g < _num_gpus; ++g) {
+        if (g == _self)
+            continue;
+        _partitions[g].setTraceObserver(observer);
     }
 }
 

@@ -103,6 +103,22 @@ class RwqObserver
     /** A window's contents were captured for packetization. */
     virtual void windowFlushed(const FlushedPartition &flushed,
                                FlushReason reason) = 0;
+
+    /**
+     * A store hit an already-buffered line and merged in place
+     * (fires just before the matching storeBuffered()).
+     * @p overwritten_bytes counts bytes whose enable was already set,
+     * i.e. wire traffic elided by overwrite-in-place. Optional hook
+     * used by the observability layer.
+     */
+    virtual void
+    storeCoalesced(GpuId dst, const icn::Store &store,
+                   std::uint32_t overwritten_bytes)
+    {
+        (void)dst;
+        (void)store;
+        (void)overwritten_bytes;
+    }
 };
 
 /**
@@ -143,8 +159,17 @@ class RwqWindow
     /** Would @p store be rejected by SRAM entry capacity alone? */
     bool entryBound(const icn::Store &store) const;
 
+    /** The observable outcome of one insert (for hooks/statistics). */
+    struct InsertOutcome
+    {
+        /** The store merged into an already-buffered line. */
+        bool queue_hit = false;
+        /** Bytes whose enable was already set (overwritten in place). */
+        std::uint32_t overwritten_bytes = 0;
+    };
+
     /** Insert a store; accepts(store) must be true. */
-    void insert(const icn::Store &store);
+    InsertOutcome insert(const icn::Store &store);
 
     /** Does any buffered byte overlap [addr, addr+size)? */
     bool conflicts(Addr addr, std::uint32_t size) const;
@@ -244,6 +269,15 @@ class RwqPartition
      */
     void setObserver(RwqObserver *observer) { _observer = observer; }
 
+    /**
+     * Attach a second, independent observer used for event tracing;
+     * it sees the same causal stream as the primary observer (and
+     * additionally storeCoalesced). Kept separate so the protocol
+     * oracle and the tracer can coexist.
+     */
+    void setTraceObserver(RwqObserver *observer)
+    { _trace_observer = observer; }
+
     /** Lifetime statistics. */
     std::uint64_t storesPushed() const { return _stores_pushed; }
     std::uint64_t bytesPushed() const { return _bytes_pushed; }
@@ -266,6 +300,7 @@ class RwqPartition
     GpuId _dst;
     FinePackConfig _config;
     RwqObserver *_observer = nullptr;
+    RwqObserver *_trace_observer = nullptr;
 
     std::vector<RwqWindow> _windows;
     /** LRU order of window indices; back = most recently used. */
@@ -315,6 +350,9 @@ class RemoteWriteQueue
 
     /** Attach a causal-order observer to every partition. */
     void setObserver(RwqObserver *observer);
+
+    /** Attach a trace observer to every partition. */
+    void setTraceObserver(RwqObserver *observer);
 
     GpuId self() const { return _self; }
     std::uint32_t numGpus() const { return _num_gpus; }

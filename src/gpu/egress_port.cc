@@ -8,6 +8,104 @@
 
 namespace fp::gpu {
 
+namespace {
+
+/**
+ * Adapts the remote write queue's causal observer stream onto trace
+ * instants on the owning GPU's rwq lane. Flush events always record
+ * (with the trigger reason as the event name); per-store enqueue and
+ * overwrite-in-place instants only fire at full detail.
+ */
+class RwqTraceAdapter : public finepack::RwqObserver
+{
+  public:
+    RwqTraceAdapter(obs::TraceSink &sink, const common::EventQueue &queue,
+                    std::uint32_t pid)
+        : _sink(sink), _queue(queue), _pid(pid)
+    {}
+
+    void
+    storeBuffered(GpuId dst, const icn::Store &store) override
+    {
+        if (!_sink.full())
+            return;
+        _sink.instant(_pid, obs::lane_rwq, "enqueue", "rwq",
+                      _queue.now(),
+                      {"dst", static_cast<double>(dst)},
+                      {"bytes", static_cast<double>(store.size)});
+    }
+
+    void
+    storeCoalesced(GpuId dst, const icn::Store &store,
+                   std::uint32_t overwritten_bytes) override
+    {
+        if (!_sink.full())
+            return;
+        _sink.instant(_pid, obs::lane_rwq, "overwrite_in_place", "rwq",
+                      _queue.now(),
+                      {"dst", static_cast<double>(dst)},
+                      {"bytes", static_cast<double>(store.size)},
+                      {"overwritten",
+                       static_cast<double>(overwritten_bytes)});
+    }
+
+    void
+    windowFlushed(const finepack::FlushedPartition &flushed,
+                  finepack::FlushReason reason) override
+    {
+        if (_sink.detail() == obs::TraceDetail::off)
+            return;
+        _sink.instant(_pid, obs::lane_rwq, toString(reason), "rwq_flush",
+                      _queue.now(),
+                      {"dst", static_cast<double>(flushed.dst)},
+                      {"entries",
+                       static_cast<double>(flushed.entries.size())},
+                      {"stores",
+                       static_cast<double>(flushed.packed_store_count)});
+    }
+
+  private:
+    obs::TraceSink &_sink;
+    const common::EventQueue &_queue;
+    std::uint32_t _pid;
+};
+
+/** Adapts packetizer output onto packet-emit trace instants. */
+class PacketizerTraceAdapter : public finepack::PacketizerObserver
+{
+  public:
+    PacketizerTraceAdapter(obs::TraceSink &sink,
+                           const common::EventQueue &queue,
+                           std::uint32_t pid)
+        : _sink(sink), _queue(queue), _pid(pid)
+    {}
+
+    void
+    packetEmitted(const finepack::FinePackTransaction &txn,
+                  const icn::WireMessage &msg) override
+    {
+        if (_sink.detail() == obs::TraceDetail::off)
+            return;
+        double payload = static_cast<double>(msg.payload_bytes);
+        double efficiency =
+            payload > 0.0 ? static_cast<double>(msg.data_bytes) / payload
+                          : 0.0;
+        _sink.instant(_pid, obs::lane_packetizer, "packet", "packetizer",
+                      _queue.now(),
+                      {"sub_packets", static_cast<double>(txn.size())},
+                      {"stores",
+                       static_cast<double>(msg.packed_store_count)},
+                      {"payload_efficiency", efficiency});
+    }
+
+  private:
+    obs::TraceSink &_sink;
+    const common::EventQueue &_queue;
+    std::uint32_t _pid;
+};
+
+} // namespace
+
 const char *
 toString(EgressMode mode)
 {
@@ -57,6 +155,14 @@ EgressPort::EgressPort(const std::string &name, common::EventQueue &queue,
                            "remote atomics injected (uncoalesced)");
     stats().registerScalar("stores_folded", &_stores_folded,
                            "program stores folded into sent messages");
+    _store_sizes.init({1, 2, 4, 8, 16, 32, 64, 128});
+    stats().registerHistogram("store_size_bytes", &_store_sizes,
+                              "issued remote store sizes in bytes");
+    _flush_entries.init(0.0, 64.0, 16);
+    stats().registerDistribution("flush_entries", &_flush_entries,
+                                 "buffered lines per flushed partition");
+    stats().registerAverage("stores_per_message", &_stores_per_msg,
+                            "program stores per injected wire message");
 }
 
 void
@@ -121,6 +227,7 @@ EgressPort::issueStores(const std::vector<icn::Store> &stores,
                 continue;
             }
             ++_stores_issued;
+            _store_sizes.sample(store.size);
             msg->payload_bytes +=
                 _protocol.payloadOnWire(store.addr, store.size);
             msg->header_bytes += _protocol.tlpOverhead();
@@ -132,6 +239,8 @@ EgressPort::issueStores(const std::vector<icn::Store> &stores,
             continue;
         ++_messages_sent;
         _stores_folded += static_cast<double>(msg->packed_store_count);
+        _stores_per_msg.sample(
+            static_cast<double>(msg->packed_store_count));
         _fabric.inject(msg);
     }
 
@@ -145,6 +254,7 @@ void
 EgressPort::issueAligned(const icn::Store &store)
 {
     ++_stores_issued;
+    _store_sizes.sample(store.size);
 
     switch (_mode) {
       case EgressMode::raw_p2p:
@@ -176,6 +286,7 @@ EgressPort::issueAtomic(const icn::Store &store)
 {
     ++_stores_issued;
     ++_atomics_sent;
+    _store_sizes.sample(store.size);
 
     // Remote atomics are not coalesced: any previously-buffered store to
     // an overlapping address must flush first so same-address ordering
@@ -253,6 +364,7 @@ EgressPort::sendRaw(const icn::Store &store, icn::MessageKind kind)
 
     ++_messages_sent;
     _stores_folded += 1.0;
+    _stores_per_msg.sample(1.0);
     _fabric.inject(msg);
 }
 
@@ -267,6 +379,28 @@ EgressPort::attachOracle(check::ProtocolOracle *oracle)
 }
 
 void
+EgressPort::setTracer(obs::TraceSink *tracer)
+{
+    _tracer = tracer;
+    if (_mode != EgressMode::finepack)
+        return;
+    if (!tracer) {
+        _rwq->setTraceObserver(nullptr);
+        _packetizer->setObserver(nullptr);
+        _rwq_trace.reset();
+        _packet_trace.reset();
+        return;
+    }
+    std::uint32_t pid = obs::tracePidGpu(_self);
+    _rwq_trace = std::make_unique<RwqTraceAdapter>(*tracer, eventQueue(),
+                                                   pid);
+    _packet_trace = std::make_unique<PacketizerTraceAdapter>(
+        *tracer, eventQueue(), pid);
+    _rwq->setTraceObserver(_rwq_trace.get());
+    _packetizer->setObserver(_packet_trace.get());
+}
+
+void
 EgressPort::sendFlushed(const finepack::FlushedPartition &flushed)
 {
     icn::WireMessagePtr msg = _packetizer->toMessage(flushed, _protocol);
@@ -274,6 +408,9 @@ EgressPort::sendFlushed(const finepack::FlushedPartition &flushed)
         _oracle->verifyMessage(*msg);
     ++_messages_sent;
     _stores_folded += static_cast<double>(flushed.packed_store_count);
+    _stores_per_msg.sample(
+        static_cast<double>(flushed.packed_store_count));
+    _flush_entries.sample(static_cast<double>(flushed.entries.size()));
     _fabric.inject(msg);
 }
 
@@ -283,6 +420,7 @@ EgressPort::sendWcLine(GpuId dst, const finepack::WcLine &line)
     icn::WireMessagePtr msg = _wc[dst]->lineToMessage(line, _protocol);
     ++_messages_sent;
     _stores_folded += static_cast<double>(line.folded);
+    _stores_per_msg.sample(static_cast<double>(line.folded));
     _fabric.inject(msg);
 }
 

@@ -22,6 +22,7 @@
 #include "finepack/remote_write_queue.hh"
 #include "finepack/write_combine.hh"
 #include "interconnect/topology.hh"
+#include "obs/trace_event.hh"
 
 namespace fp::check { class ProtocolOracle; }
 
@@ -91,6 +92,15 @@ class EgressPort : public common::SimObject
      */
     void attachOracle(check::ProtocolOracle *oracle);
 
+    /**
+     * Attach an event tracer (nullptr detaches). In finepack mode this
+     * wires adapters onto the remote write queue and packetizer so
+     * enqueue / overwrite-in-place / flush / packet-emit events land on
+     * this GPU's trace process; per-store instants only fire at full
+     * trace detail.
+     */
+    void setTracer(obs::TraceSink *tracer);
+
     EgressMode mode() const { return _mode; }
     GpuId self() const { return _self; }
 
@@ -129,6 +139,10 @@ class EgressPort : public common::SimObject
     std::unique_ptr<finepack::RemoteWriteQueue> _rwq;
     std::unique_ptr<finepack::Packetizer> _packetizer;
     check::ProtocolOracle *_oracle = nullptr;
+    obs::TraceSink *_tracer = nullptr;
+    /** Trace adapters (finepack mode, tracer attached). */
+    std::unique_ptr<finepack::RwqObserver> _rwq_trace;
+    std::unique_ptr<finepack::PacketizerObserver> _packet_trace;
     /** One write-combine buffer per destination (index = dst). */
     std::vector<std::unique_ptr<finepack::WriteCombineBuffer>> _wc;
 
@@ -137,6 +151,9 @@ class EgressPort : public common::SimObject
     common::Scalar _atomics_sent;
     common::Scalar _stores_folded;
     common::Scalar _timeout_flushes;
+    common::Histogram _store_sizes;
+    common::Distribution _flush_entries;
+    common::Average _stores_per_msg;
     /** Reused flush buffer for the hot store path. */
     std::vector<finepack::FlushedPartition> _flush_scratch;
 

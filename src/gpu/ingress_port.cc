@@ -44,6 +44,16 @@ IngressPort::receive(const icn::WireMessagePtr &msg)
     Tick start = std::max(curTick(), _busy_until);
     _busy_until = start + drain_ticks;
 
+    if (_tracer && _tracer->full()) {
+        _tracer->complete(obs::tracePidGpu(_self), obs::lane_ingress,
+                          "drain", "ingress", start, drain_ticks,
+                          {"data_bytes",
+                           static_cast<double>(msg->data_bytes)},
+                          {"stores",
+                           static_cast<double>(msg->stores.size())},
+                          {"src", static_cast<double>(msg->src)});
+    }
+
     // Always schedule the drain-completion event so that running the
     // event queue dry implies all ingress buffers have emptied.
     eventQueue().schedule(

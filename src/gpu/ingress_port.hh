@@ -16,6 +16,7 @@
 #include "gpu/functional_memory.hh"
 #include "gpu/gpu_config.hh"
 #include "interconnect/message.hh"
+#include "obs/trace_event.hh"
 
 namespace fp::gpu {
 
@@ -41,6 +42,12 @@ class IngressPort : public common::SimObject
     /** Callback invoked when a message has fully drained. */
     void setDeliveredCallback(DeliveredFn fn) { _delivered_cb = std::move(fn); }
 
+    /**
+     * Attach an event tracer (nullptr detaches): per-message drain
+     * spans on this GPU's ingress lane at full detail.
+     */
+    void setTracer(obs::TraceSink *tracer) { _tracer = tracer; }
+
     /** Tick when the ingress path finishes draining everything queued. */
     Tick drainedAt() const { return _busy_until; }
 
@@ -56,6 +63,7 @@ class IngressPort : public common::SimObject
     GpuConfig _config;
     FunctionalMemory *_memory = nullptr;
     DeliveredFn _delivered_cb;
+    obs::TraceSink *_tracer = nullptr;
     Tick _busy_until = 0;
 
     common::Scalar _messages;

@@ -8,12 +8,15 @@
 namespace fp::gpu {
 
 WarpCoalescer::WarpCoalescer(std::uint32_t line_bytes)
-    : _line_bytes(line_bytes)
+    : _line_bytes(line_bytes), _stats("warp_coalescer")
 {
     fp_assert(common::isPowerOfTwo(line_bytes),
               "line size must be a power of two");
     // Buckets for Figure 4: 1-4, 8, 16, 32, 64, 128 byte egress accesses.
     _sizes.init({0.0, 5.0, 9.0, 17.0, 33.0, 65.0});
+    _stats.registerHistogram("egress_access_bytes", &_sizes,
+                             "L1-egress access sizes after intra-warp "
+                             "coalescing (Figure 4)");
 }
 
 std::size_t

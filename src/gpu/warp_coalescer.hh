@@ -59,8 +59,11 @@ class WarpCoalescer
     std::uint64_t lanesIn() const { return _lanes_in; }
     std::uint64_t accessesOut() const { return _accesses_out; }
 
+    const common::StatGroup &stats() const { return _stats; }
+
   private:
     std::uint32_t _line_bytes;
+    common::StatGroup _stats;
     common::Histogram _sizes;
     std::uint64_t _lanes_in = 0;
     std::uint64_t _accesses_out = 0;

@@ -106,6 +106,14 @@ Link::transmit(const WireMessagePtr &msg,
     kind.data_bytes += msg->data_bytes;
     ++kind.messages;
 
+    if (_tracer && _tracer->full()) {
+        _tracer->complete(
+            _trace_pid, _trace_tid, "tx", "link", start, tx_ticks,
+            {"wire_bytes", static_cast<double>(msg->wireBytes())},
+            {"data_bytes", static_cast<double>(msg->data_bytes)},
+            {"stores", static_cast<double>(msg->packed_store_count)});
+    }
+
     if (on_transmit)
         on_transmit();
 

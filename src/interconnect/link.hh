@@ -19,6 +19,7 @@
 
 #include "common/sim_object.hh"
 #include "interconnect/message.hh"
+#include "obs/trace_event.hh"
 
 namespace fp::icn {
 
@@ -101,6 +102,19 @@ class Link : public common::SimObject
 
     void resetStats();
 
+    /**
+     * Attach an event tracer (nullptr detaches). Busy spans - one
+     * complete event per message serialization, carrying wire/data
+     * byte counts - are emitted on (@p pid, @p tid) at full detail.
+     */
+    void
+    setTracer(obs::TraceSink *tracer, std::uint32_t pid, std::uint32_t tid)
+    {
+        _tracer = tracer;
+        _trace_pid = pid;
+        _trace_tid = tid;
+    }
+
   private:
     /** Begin serializing a message (credits already consumed). */
     void transmit(const WireMessagePtr &msg,
@@ -117,6 +131,10 @@ class Link : public common::SimObject
     std::uint64_t _credits_in_use = 0;
     std::deque<std::pair<WireMessagePtr, std::function<void()>>>
         _waiting;
+
+    obs::TraceSink *_tracer = nullptr;
+    std::uint32_t _trace_pid = 0;
+    std::uint32_t _trace_tid = 0;
 
     common::Scalar _payload_bytes;
     common::Scalar _header_bytes;

@@ -127,6 +127,17 @@ SwitchedFabric::totalInjectedWireBytes() const
 }
 
 void
+SwitchedFabric::setTracer(obs::TraceSink *tracer)
+{
+    for (std::uint32_t g = 0; g < _num_gpus; ++g) {
+        _uplinks[g]->setTracer(tracer, obs::tracePidGpu(g),
+                               obs::lane_uplink);
+        _downlinks[g]->setTracer(tracer, obs::tracePidGpu(g),
+                                 obs::lane_downlink);
+    }
+}
+
+void
 SwitchedFabric::resetStats()
 {
     for (auto &link : _uplinks)

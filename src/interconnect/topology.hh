@@ -87,6 +87,13 @@ class SwitchedFabric : public common::SimObject
 
     void resetStats();
 
+    /**
+     * Attach an event tracer to every link: GPU g's uplink and
+     * downlink emit busy spans on its trace process, on the uplink /
+     * downlink lanes.
+     */
+    void setTracer(obs::TraceSink *tracer);
+
   private:
     void forward(const WireMessagePtr &msg);
 

@@ -1,0 +1,46 @@
+#include "obs/metrics.hh"
+
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/stats.hh"
+
+namespace fp::obs {
+
+void
+MetricsCapture::captureNow()
+{
+    std::ostringstream os;
+    common::JsonWriter json(os);
+    common::MetricsRegistry::instance().dumpJson(json);
+    _groups_json = os.str();
+}
+
+const std::string &
+MetricsCapture::groupsJson() const
+{
+    static const std::string empty = "[]";
+    return _groups_json.empty() ? empty : _groups_json;
+}
+
+void
+MetricsCapture::writeDocument(std::ostream &os,
+                              const PeriodicSampler *sampler) const
+{
+    // The groups snapshot is already-serialized JSON, so the document
+    // frame is spliced by hand around it.
+    os << "{\"schema_version\":1,\"groups\":" << groupsJson()
+       << ",\"timeseries\":";
+    {
+        common::JsonWriter json(os);
+        if (sampler) {
+            sampler->dumpJson(json);
+        } else {
+            json.beginObject();
+            json.endObject();
+        }
+    }
+    os << "}\n";
+}
+
+} // namespace fp::obs

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Metrics export: snapshotting every registered StatGroup to JSON.
+ *
+ * Simulated components own their StatGroups, and a run's component
+ * tree is torn down when the driver returns - so the exporter must
+ * capture while the system is alive. The driver calls
+ * MetricsCapture::captureNow() just before teardown; the CLI then
+ * composes the captured groups with the sampler's time series into the
+ * final stats document (schema in docs/observability.md).
+ */
+
+#ifndef FP_OBS_METRICS_HH
+#define FP_OBS_METRICS_HH
+
+#include <ostream>
+#include <string>
+
+#include "obs/sampler.hh"
+
+namespace fp::obs {
+
+class MetricsCapture
+{
+  public:
+    /**
+     * Serialize every StatGroup currently in the process-wide
+     * MetricsRegistry into the stored snapshot (a JSON array of group
+     * objects), replacing any previous snapshot.
+     */
+    void captureNow();
+
+    bool captured() const { return !_groups_json.empty(); }
+
+    /** The captured groups array; "[]" when nothing was captured. */
+    const std::string &groupsJson() const;
+
+    /**
+     * Write the complete stats document: schema version, the captured
+     * groups, and (when @p sampler is non-null) its time series.
+     */
+    void writeDocument(std::ostream &os,
+                       const PeriodicSampler *sampler = nullptr) const;
+
+  private:
+    std::string _groups_json;
+};
+
+} // namespace fp::obs
+
+#endif // FP_OBS_METRICS_HH

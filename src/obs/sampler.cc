@@ -1,0 +1,99 @@
+#include "obs/sampler.hh"
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace fp::obs {
+
+PeriodicSampler::PeriodicSampler(Tick interval) : _interval(interval)
+{
+    fp_assert(interval > 0, "sample interval must be positive");
+}
+
+void
+PeriodicSampler::beginRun()
+{
+    _gauges.clear();
+    _series.clear();
+    _primed = false;
+    _next_sample = 0;
+}
+
+void
+PeriodicSampler::endRun()
+{
+    _gauges.clear();
+}
+
+void
+PeriodicSampler::addTrack(std::string name, std::function<double()> fn)
+{
+    fp_assert(fn != nullptr, "null sampler gauge");
+    _gauges.push_back(std::move(fn));
+    _series.push_back(Series{std::move(name), {}, {}});
+}
+
+void
+PeriodicSampler::sampleAt(Tick now)
+{
+    for (std::size_t i = 0; i < _gauges.size(); ++i) {
+        double v = _gauges[i]();
+        _series[i].ticks.push_back(now);
+        _series[i].values.push_back(v);
+        if (_trace)
+            _trace->counter(trace_pid_sim, _series[i].name, now, v);
+    }
+}
+
+void
+PeriodicSampler::pump(common::EventQueue &queue)
+{
+    if (_gauges.empty()) {
+        queue.run();
+        return;
+    }
+    if (!_primed) {
+        // Baseline point before the first event of the run.
+        sampleAt(queue.now());
+        _next_sample = queue.now() + _interval;
+        _primed = true;
+    }
+    while (!queue.empty()) {
+        Tick next_event = queue.nextEventTick();
+        // Boundaries at or before the next event sample the state left
+        // by all strictly-earlier events ("state at start of tick").
+        while (_next_sample <= next_event) {
+            sampleAt(_next_sample);
+            _next_sample += _interval;
+        }
+        queue.step();
+    }
+}
+
+void
+PeriodicSampler::dumpJson(common::JsonWriter &json) const
+{
+    json.beginObject();
+    json.kv("interval_ticks", _interval);
+    json.key("tracks");
+    json.beginObject();
+    for (const Series &s : _series) {
+        json.key(s.name);
+        json.beginObject();
+        json.key("ticks");
+        json.beginArray();
+        for (Tick t : s.ticks)
+            json.value(t);
+        json.endArray();
+        json.key("values");
+        json.beginArray();
+        for (double v : s.values)
+            json.value(v);
+        json.endArray();
+        json.endObject();
+    }
+    json.endObject();
+    json.endObject();
+}
+
+} // namespace fp::obs

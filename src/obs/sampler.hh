@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Periodic time-series sampling of counter statistics.
+ *
+ * The sampler pumps the discrete-event queue itself: events execute
+ * normally, but every time simulated time is about to cross a sample
+ * boundary the registered gauge callbacks are read and stamped at that
+ * boundary. Driving the queue from outside (instead of scheduling
+ * sampler events into it) keeps the queue's "run until drained"
+ * semantics intact - a self-rescheduling sampler event would never let
+ * the queue empty - and guarantees sampling never perturbs event
+ * order, so two identical runs produce identical series.
+ *
+ * Each track's points land both in an in-memory series (exported as
+ * the "timeseries" section of the stats JSON) and, when a TraceSink is
+ * attached, as Chrome trace counter events.
+ */
+
+#ifndef FP_OBS_SAMPLER_HH
+#define FP_OBS_SAMPLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/types.hh"
+#include "obs/trace_event.hh"
+
+namespace fp::common {
+class JsonWriter;
+}
+
+namespace fp::obs {
+
+class PeriodicSampler
+{
+  public:
+    /** Sample every @p interval ticks of simulated time. */
+    explicit PeriodicSampler(Tick interval);
+
+    Tick interval() const { return _interval; }
+
+    /** Mirror samples into @p sink as counter tracks (nullptr stops). */
+    void attachTraceSink(TraceSink *sink) { _trace = sink; }
+
+    /**
+     * Reset for a new run: drops all tracks and recorded series. The
+     * simulation driver calls this before registering its gauges so a
+     * reused sampler never mixes two runs.
+     */
+    void beginRun();
+
+    /**
+     * Drop the gauge callbacks but keep the recorded series. Called
+     * when the sampled components are about to be destroyed; the
+     * series stay readable afterwards.
+     */
+    void endRun();
+
+    /**
+     * Register one gauge. @p fn is read at every sample point and must
+     * stay valid until endRun()/beginRun().
+     */
+    void addTrack(std::string name, std::function<double()> fn);
+
+    /**
+     * Run @p queue to completion (like EventQueue::run), sampling all
+     * tracks whenever simulated time crosses a sample boundary. The
+     * first call also records a baseline sample at the current tick.
+     * May be called repeatedly (once per driver iteration).
+     */
+    void pump(common::EventQueue &queue);
+
+    /** Read every track now, stamped at @p now. */
+    void sampleAt(Tick now);
+
+    struct Series
+    {
+        std::string name;
+        std::vector<Tick> ticks;
+        std::vector<double> values;
+    };
+
+    const std::vector<Series> &series() const { return _series; }
+
+    /** Serialize all series as one JSON object keyed by track name. */
+    void dumpJson(common::JsonWriter &json) const;
+
+  private:
+    Tick _interval;
+    Tick _next_sample = 0;
+    bool _primed = false;
+    TraceSink *_trace = nullptr;
+
+    std::vector<std::function<double()>> _gauges;
+    std::vector<Series> _series;
+};
+
+} // namespace fp::obs
+
+#endif // FP_OBS_SAMPLER_HH

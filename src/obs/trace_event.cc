@@ -1,0 +1,141 @@
+#include "obs/trace_event.hh"
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace fp::obs {
+
+const char *
+toString(TraceDetail detail)
+{
+    switch (detail) {
+      case TraceDetail::off: return "off";
+      case TraceDetail::flush: return "flush";
+      case TraceDetail::full: return "full";
+    }
+    return "?";
+}
+
+void
+TraceSink::complete(std::uint32_t pid, std::uint32_t tid, const char *name,
+                    const char *cat, Tick ts, Tick dur, Arg a0, Arg a1,
+                    Arg a2)
+{
+    Event e;
+    e.ph = 'X';
+    e.pid = pid;
+    e.tid = tid;
+    e.ts = ts;
+    e.dur = dur;
+    e.name = name;
+    e.cat = cat;
+    e.args = {a0, a1, a2};
+    push(std::move(e));
+}
+
+void
+TraceSink::instant(std::uint32_t pid, std::uint32_t tid, const char *name,
+                   const char *cat, Tick ts, Arg a0, Arg a1, Arg a2)
+{
+    Event e;
+    e.ph = 'i';
+    e.pid = pid;
+    e.tid = tid;
+    e.ts = ts;
+    e.name = name;
+    e.cat = cat;
+    e.args = {a0, a1, a2};
+    push(std::move(e));
+}
+
+void
+TraceSink::counter(std::uint32_t pid, const std::string &track, Tick ts,
+                   double value)
+{
+    Event e;
+    e.ph = 'C';
+    e.pid = pid;
+    e.ts = ts;
+    e.dyn_name = track;
+    e.args[0] = {"value", value};
+    push(std::move(e));
+}
+
+void
+TraceSink::processName(std::uint32_t pid, const std::string &name)
+{
+    Event e;
+    e.ph = 'M';
+    e.pid = pid;
+    e.name = "process_name";
+    e.dyn_name = name;
+    push(std::move(e));
+}
+
+void
+TraceSink::threadName(std::uint32_t pid, std::uint32_t tid,
+                      const std::string &name)
+{
+    Event e;
+    e.ph = 'M';
+    e.pid = pid;
+    e.tid = tid;
+    e.name = "thread_name";
+    e.dyn_name = name;
+    push(std::move(e));
+}
+
+void
+TraceSink::write(std::ostream &os) const
+{
+    // Trace-event timestamps are microseconds; ticks are picoseconds.
+    auto us = [](Tick t) { return static_cast<double>(t) / 1e6; };
+
+    common::JsonWriter json(os);
+    json.beginObject();
+    json.kv("displayTimeUnit", "ns");
+    json.key("traceEvents");
+    json.beginArray();
+    for (const Event &e : _events) {
+        json.beginObject();
+        json.kv("ph", std::string(1, e.ph));
+        json.kv("pid", e.pid);
+        json.kv("tid", e.tid);
+        if (e.ph == 'M') {
+            json.kv("name", e.name);
+            json.key("args");
+            json.beginObject();
+            json.kv("name", e.dyn_name);
+            json.endObject();
+            json.endObject();
+            continue;
+        }
+        json.kv("ts", us(e.ts));
+        if (e.ph == 'X')
+            json.kv("dur", us(e.dur));
+        if (e.ph == 'i')
+            json.kv("s", "t");
+        json.kv("name", e.dyn_name.empty() ? std::string(e.name)
+                                           : e.dyn_name);
+        if (e.cat)
+            json.kv("cat", e.cat);
+        bool has_args = false;
+        for (const Arg &arg : e.args)
+            has_args = has_args || arg.key != nullptr;
+        if (has_args) {
+            json.key("args");
+            json.beginObject();
+            for (const Arg &arg : e.args)
+                if (arg.key)
+                    json.kv(arg.key, arg.value);
+            json.endObject();
+        }
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    os << '\n';
+    fp_assert(json.complete(), "trace JSON left unbalanced");
+}
+
+} // namespace fp::obs

@@ -12,6 +12,9 @@
 #include "gpu/egress_port.hh"
 #include "gpu/ingress_port.hh"
 #include "interconnect/topology.hh"
+#include "obs/metrics.hh"
+#include "obs/sampler.hh"
+#include "obs/trace_event.hh"
 
 namespace fp::sim {
 
@@ -156,6 +159,11 @@ SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
     icn::PcieProtocol protocol(_config.pcie_gen);
 
     SimSystem sys;
+    // Stamp warn()/inform() messages with simulated time for the
+    // duration of the run.
+    common::ScopedTickContext tick_context(
+        [queue = &sys.queue]() { return queue->now(); });
+    obs::TraceSink *tracer = _config.tracer;
     sys.fabric = std::make_unique<icn::SwitchedFabric>(
         "fabric", sys.queue, gpus,
         icn::FabricParams::forPcie(_config.pcie_gen));
@@ -192,9 +200,81 @@ SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
                 "--check is a no-op under ", toString(paradigm));
     }
 
+    if (tracer) {
+        tracer->processName(obs::trace_pid_sim, "sim.driver");
+        tracer->threadName(obs::trace_pid_sim, obs::lane_main,
+                           toString(paradigm));
+        sys.fabric->setTracer(tracer);
+        for (GpuId g = 0; g < gpus; ++g) {
+            tracer->processName(obs::tracePidGpu(g),
+                                "gpu" + std::to_string(g));
+            tracer->threadName(obs::tracePidGpu(g), obs::lane_main,
+                               "kernel");
+            tracer->threadName(obs::tracePidGpu(g), obs::lane_rwq,
+                               "rwq");
+            tracer->threadName(obs::tracePidGpu(g), obs::lane_packetizer,
+                               "packetizer");
+            tracer->threadName(obs::tracePidGpu(g), obs::lane_ingress,
+                               "ingress");
+            tracer->threadName(obs::tracePidGpu(g), obs::lane_uplink,
+                               "uplink");
+            tracer->threadName(obs::tracePidGpu(g), obs::lane_downlink,
+                               "downlink");
+            sys.ingress[g]->setTracer(tracer);
+        }
+        for (auto &port : sys.egress)
+            port->setTracer(tracer);
+    }
+
+    obs::PeriodicSampler *sampler = _config.sampler;
+    if (sampler) {
+        sampler->beginRun();
+        sampler->attachTraceSink(tracer);
+        for (GpuId g = 0; g < gpus; ++g) {
+            std::string prefix = "gpu" + std::to_string(g);
+            if (paradigm == Paradigm::finepack) {
+                // RWQ occupancy per destination partition.
+                const auto &rwq = sys.egress[g]->writeQueue();
+                for (GpuId dst = 0; dst < gpus; ++dst) {
+                    if (dst == g)
+                        continue;
+                    const finepack::RwqPartition *part =
+                        &rwq.partition(dst);
+                    sampler->addTrack(
+                        prefix + ".rwq.entries[" +
+                            std::to_string(dst) + "]",
+                        [part]() {
+                            return static_cast<double>(
+                                part->entryCount());
+                        });
+                }
+            }
+            const icn::Link *uplink = &sys.fabric->uplink(g);
+            sampler->addTrack(prefix + ".uplink.queued", [uplink]() {
+                return static_cast<double>(uplink->waitingMessages());
+            });
+        }
+        // Messages injected into the fabric but not yet received.
+        const icn::SwitchedFabric *fabric = sys.fabric.get();
+        std::vector<const gpu::IngressPort *> sinks;
+        for (const auto &port : sys.ingress)
+            sinks.push_back(port.get());
+        sampler->addTrack("sim.inflight_messages", [fabric, sinks]() {
+            std::uint64_t sent = 0;
+            for (GpuId g = 0; g < fabric->numGpus(); ++g)
+                sent += fabric->uplink(g).messageCount();
+            std::uint64_t received = 0;
+            for (const auto *port : sinks)
+                received += port->messagesReceived();
+            return static_cast<double>(sent) -
+                   static_cast<double>(received);
+        });
+    }
+
     baselines::GpsModel gps_model(_config.gps_page_bytes);
 
     Tick t = 0;
+    std::size_t iteration_index = 0;
     for (const auto &iter : trace.iterations) {
         if (is_gps)
             gps_model.beginIteration(iter);
@@ -212,6 +292,16 @@ SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
             Tick compute_end = kernel_start + compute;
             latest_compute_end =
                 std::max(latest_compute_end, compute_end);
+
+            if (tracer && tracer->detail() != obs::TraceDetail::off) {
+                tracer->complete(
+                    obs::tracePidGpu(g), obs::lane_main, "kernel",
+                    "phase", kernel_start, compute,
+                    {"iteration",
+                     static_cast<double>(iteration_index)},
+                    {"remote_stores",
+                     static_cast<double>(work.remote_stores.size())});
+            }
 
             if (is_dma) {
                 // Bulk-synchronous copies after the kernel completes.
@@ -278,8 +368,12 @@ SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
         // Run until every message has drained into its destination.
         // The iteration ends when all kernels and deliveries complete;
         // bookkeeping events (e.g. disarmed inactivity timeouts) may
-        // execute later without extending the iteration.
-        sys.queue.run();
+        // execute later without extending the iteration. The sampler,
+        // when present, pumps the queue so time series accumulate.
+        if (sampler)
+            sampler->pump(sys.queue);
+        else
+            sys.queue.run();
         Tick busy = latest_compute_end;
         for (const auto &port : sys.ingress)
             busy = std::max(busy, port->drainedAt());
@@ -294,9 +388,30 @@ SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
         FP_INVARIANT(t >= iteration_start, "driver-time-monotonic",
                      "iteration moved time backwards: ", iteration_start,
                      " -> ", t);
+
+        if (tracer && tracer->detail() != obs::TraceDetail::off) {
+            tracer->complete(obs::trace_pid_sim, obs::lane_main, "drain",
+                             "phase", latest_compute_end,
+                             busy - latest_compute_end,
+                             {"iteration",
+                              static_cast<double>(iteration_index)});
+            tracer->complete(obs::trace_pid_sim, obs::lane_main,
+                             "iteration", "phase", iteration_start,
+                             t - iteration_start,
+                             {"iteration",
+                              static_cast<double>(iteration_index)});
+        }
+        ++iteration_index;
     }
 
     result.total_time = t;
+
+    // Capture observability output while the component tree (and with
+    // it every registered StatGroup) is still alive.
+    if (sampler)
+        sampler->endRun();
+    if (_config.metrics)
+        _config.metrics->captureNow();
 
     // Every buffered byte must have flushed and every flush must have
     // packetized by the end of the run (oracle end-of-run check).

@@ -24,6 +24,12 @@
 #include "sim/paradigm.hh"
 #include "trace/trace.hh"
 
+namespace fp::obs {
+class MetricsCapture;
+class PeriodicSampler;
+class TraceSink;
+} // namespace fp::obs
+
 namespace fp::sim {
 
 /** Static configuration of one simulated system. */
@@ -51,6 +57,25 @@ struct SimConfig
      * tooling"; the fptrace --check flag sets this.
      */
     bool check = false;
+
+    // ---- Observability hooks (caller keeps ownership; all optional) ----
+    /**
+     * Event tracer: pipeline components emit Chrome trace events into
+     * it during event-driven runs. Null disables tracing entirely (the
+     * hooks reduce to one pointer test each).
+     */
+    obs::TraceSink *tracer = nullptr;
+    /**
+     * Periodic sampler: the driver registers its counter gauges (RWQ
+     * occupancy, link queue depth, in-flight messages) and pumps the
+     * event queue through it so time series accumulate.
+     */
+    obs::PeriodicSampler *sampler = nullptr;
+    /**
+     * Metrics snapshot target: captured from the live StatGroup
+     * registry just before the simulated system is torn down.
+     */
+    obs::MetricsCapture *metrics = nullptr;
 
     SimConfig();
 };

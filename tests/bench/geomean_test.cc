@@ -1,0 +1,79 @@
+/**
+ * Unit tests for the shared bench helpers: geomean/mean guards and the
+ * JSON reporter's flag handling and output schema.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "../../bench/bench_common.hh"
+#include "../support/mini_json.hh"
+
+using fp::bench::geomean;
+using fp::bench::mean;
+using fp::testing::parseJson;
+
+TEST(GeomeanTest, PositiveValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 4.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(GeomeanTest, EmptyInputIsZero)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(GeomeanTest, NonPositiveMemberIsZeroNotNan)
+{
+    // A paradigm that makes no progress yields a 0x speedup; the
+    // geomean over the suite must degrade to 0, not NaN or -inf.
+    EXPECT_DOUBLE_EQ(geomean({2.0, 0.0, 8.0}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({-1.0}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({1.0, 2.0, -3.0}), 0.0);
+}
+
+TEST(GeomeanTest, MeanHelper)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(JsonReporterTest, InertWithoutFlag)
+{
+    const char *argv[] = {"bench"};
+    fp::bench::JsonReporter reporter(
+        "t", 1, const_cast<char **>(argv), 1.0);
+    EXPECT_FALSE(reporter.enabled());
+    reporter.add("m", 1.0);
+    EXPECT_TRUE(reporter.write()); // nothing to do, still a success
+}
+
+TEST(JsonReporterTest, WritesSchemaWithSortedMetrics)
+{
+    std::string path =
+        ::testing::TempDir() + "geomean_test_reporter.json";
+    const char *argv[] = {"bench", "--json", path.c_str()};
+    fp::bench::JsonReporter reporter(
+        "fig_test", 3, const_cast<char **>(argv), 0.5);
+    ASSERT_TRUE(reporter.enabled());
+    reporter.add("zeta", 2.0);
+    reporter.add("alpha", 1.0);
+    ASSERT_TRUE(reporter.write());
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto doc = parseJson(buffer.str());
+    EXPECT_EQ(doc.at("bench").string, "fig_test");
+    EXPECT_DOUBLE_EQ(doc.at("schema_version").number, 1.0);
+    EXPECT_DOUBLE_EQ(doc.at("scale").number, 0.5);
+    EXPECT_DOUBLE_EQ(doc.at("metrics").at("alpha").number, 1.0);
+    EXPECT_DOUBLE_EQ(doc.at("metrics").at("zeta").number, 2.0);
+    std::remove(path.c_str());
+}

@@ -1,0 +1,179 @@
+/** Unit tests for the streaming JSON writer. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "../support/mini_json.hh"
+
+using namespace fp::common;
+using fp::testing::parseJson;
+
+namespace {
+
+/** Run @p body against a fresh writer and return the rendered text. */
+template <typename Fn>
+std::string
+render(Fn &&body)
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    body(json);
+    return os.str();
+}
+
+} // namespace
+
+TEST(JsonWriterTest, EmptyObjectAndArray)
+{
+    EXPECT_EQ(render([](JsonWriter &j) {
+        j.beginObject();
+        j.endObject();
+    }), "{}");
+    EXPECT_EQ(render([](JsonWriter &j) {
+        j.beginArray();
+        j.endArray();
+    }), "[]");
+}
+
+TEST(JsonWriterTest, CommasBetweenMembersAndElements)
+{
+    std::string text = render([](JsonWriter &j) {
+        j.beginObject();
+        j.kv("a", 1);
+        j.kv("b", 2);
+        j.key("c");
+        j.beginArray();
+        j.value(1);
+        j.value(2);
+        j.value(3);
+        j.endArray();
+        j.endObject();
+    });
+    EXPECT_EQ(text, R"({"a":1,"b":2,"c":[1,2,3]})");
+    auto doc = parseJson(text);
+    EXPECT_EQ(doc.at("c").array.size(), 3u);
+}
+
+TEST(JsonWriterTest, StringEscaping)
+{
+    std::string text = render([](JsonWriter &j) {
+        j.beginObject();
+        j.kv("k", std::string("a\"b\\c\nd\te"));
+        j.endObject();
+    });
+    auto doc = parseJson(text);
+    EXPECT_EQ(doc.at("k").string, "a\"b\\c\nd\te");
+}
+
+TEST(JsonWriterTest, ControlCharactersEscapeAsUnicode)
+{
+    std::string text = render([](JsonWriter &j) {
+        j.beginObject();
+        j.kv("k", std::string("x\x01y"));
+        j.endObject();
+    });
+    EXPECT_NE(text.find("\\u0001"), std::string::npos) << text;
+    auto doc = parseJson(text);
+    EXPECT_EQ(doc.at("k").string, "x\x01y");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesSerializeAsNull)
+{
+    std::string text = render([](JsonWriter &j) {
+        j.beginArray();
+        j.value(std::numeric_limits<double>::quiet_NaN());
+        j.value(std::numeric_limits<double>::infinity());
+        j.value(-std::numeric_limits<double>::infinity());
+        j.endArray();
+    });
+    auto doc = parseJson(text);
+    ASSERT_EQ(doc.array.size(), 3u);
+    for (const auto &v : doc.array)
+        EXPECT_TRUE(v.isNull());
+}
+
+TEST(JsonWriterTest, IntegralDoublesHaveNoFraction)
+{
+    // Counters are doubles internally but must round-trip as integers
+    // so downstream tools can compare them exactly.
+    std::string text = render([](JsonWriter &j) {
+        j.beginArray();
+        j.value(42.0);
+        j.value(0.5);
+        j.endArray();
+    });
+    EXPECT_NE(text.find("42"), std::string::npos) << text;
+    EXPECT_EQ(text.find("42.0"), std::string::npos) << text;
+    auto doc = parseJson(text);
+    EXPECT_DOUBLE_EQ(doc.array[0].number, 42.0);
+    EXPECT_DOUBLE_EQ(doc.array[1].number, 0.5);
+}
+
+TEST(JsonWriterTest, HugeDoublesKeepPrecisionViaScientific)
+{
+    std::string text = render([](JsonWriter &j) {
+        j.beginArray();
+        j.value(1.0e18);
+        j.endArray();
+    });
+    auto doc = parseJson(text);
+    EXPECT_NEAR(doc.array[0].number, 1.0e18, 1.0e9);
+}
+
+TEST(JsonWriterTest, BooleansAndNull)
+{
+    std::string text = render([](JsonWriter &j) {
+        j.beginObject();
+        j.kv("t", true);
+        j.kv("f", false);
+        j.key("n");
+        j.null();
+        j.endObject();
+    });
+    EXPECT_EQ(text, R"({"t":true,"f":false,"n":null})");
+}
+
+TEST(JsonWriterTest, CompleteTracksScopeBalance)
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    EXPECT_FALSE(json.complete());
+    json.beginObject();
+    EXPECT_FALSE(json.complete());
+    json.endObject();
+    EXPECT_TRUE(json.complete());
+}
+
+TEST(JsonWriterTest, ValueInObjectWithoutKeyPanics)
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.beginObject();
+    EXPECT_THROW(json.value(1), fp::common::SimError);
+}
+
+TEST(JsonWriterTest, NestedDocumentRoundTrips)
+{
+    std::string text = render([](JsonWriter &j) {
+        j.beginObject();
+        j.key("groups");
+        j.beginArray();
+        for (int g = 0; g < 3; ++g) {
+            j.beginObject();
+            j.kv("id", g);
+            j.kv("label", "gpu" + std::to_string(g));
+            j.endObject();
+        }
+        j.endArray();
+        j.endObject();
+    });
+    auto doc = parseJson(text);
+    ASSERT_EQ(doc.at("groups").array.size(), 3u);
+    EXPECT_EQ(doc.at("groups").array[2].at("label").string, "gpu2");
+    EXPECT_DOUBLE_EQ(doc.at("groups").array[1].at("id").number, 1.0);
+}

@@ -2,9 +2,34 @@
 
 #include <gtest/gtest.h>
 
+#include <iostream>
+#include <sstream>
+
 #include "common/logging.hh"
 
 using namespace fp::common;
+
+namespace {
+
+/** Redirect a stream into a buffer for the lifetime of the guard. */
+class CaptureStream
+{
+  public:
+    explicit CaptureStream(std::ostream &os)
+        : _os(os), _previous(os.rdbuf(_buffer.rdbuf()))
+    {}
+
+    ~CaptureStream() { _os.rdbuf(_previous); }
+
+    std::string text() const { return _buffer.str(); }
+
+  private:
+    std::ostream &_os;
+    std::ostringstream _buffer;
+    std::streambuf *_previous;
+};
+
+} // namespace
 
 TEST(LoggingTest, PanicThrowsWithMessage)
 {
@@ -62,4 +87,48 @@ TEST(LoggingTest, WarnAndInformDoNotThrow)
     EXPECT_NO_THROW(fp_warn("warning ", 1));
     EXPECT_NO_THROW(fp_inform("status ", 2));
     setQuiet(false);
+}
+
+TEST(LoggingTest, WarnCarriesTickPrefixWhileContextActive)
+{
+    ScopedTickContext context([]() { return std::uint64_t{12345}; });
+    CaptureStream cerr_capture(std::cerr);
+    fp_warn("queue overflow");
+    std::string text = cerr_capture.text();
+    EXPECT_NE(text.find("warn:"), std::string::npos) << text;
+    EXPECT_NE(text.find("[tick 12345]"), std::string::npos) << text;
+    EXPECT_NE(text.find("queue overflow"), std::string::npos) << text;
+}
+
+TEST(LoggingTest, InformCarriesTickPrefixWhileContextActive)
+{
+    ScopedTickContext context([]() { return std::uint64_t{77}; });
+    CaptureStream cout_capture(std::cout);
+    fp_inform("phase done");
+    std::string text = cout_capture.text();
+    EXPECT_NE(text.find("info: [tick 77] phase done"), std::string::npos)
+        << text;
+}
+
+TEST(LoggingTest, NoTickPrefixWithoutContext)
+{
+    CaptureStream cerr_capture(std::cerr);
+    fp_warn("plain message");
+    std::string text = cerr_capture.text();
+    EXPECT_NE(text.find("warn: plain message"), std::string::npos) << text;
+    EXPECT_EQ(text.find("[tick"), std::string::npos) << text;
+}
+
+TEST(LoggingTest, NestedTickContextsRestoreOuterSource)
+{
+    ScopedTickContext outer([]() { return std::uint64_t{1}; });
+    {
+        ScopedTickContext inner([]() { return std::uint64_t{2}; });
+        CaptureStream cerr_capture(std::cerr);
+        fp_warn("inner");
+        EXPECT_NE(cerr_capture.text().find("[tick 2]"), std::string::npos);
+    }
+    CaptureStream cerr_capture(std::cerr);
+    fp_warn("outer");
+    EXPECT_NE(cerr_capture.text().find("[tick 1]"), std::string::npos);
 }

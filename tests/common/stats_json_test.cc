@@ -1,0 +1,150 @@
+/**
+ * Golden-schema tests for StatGroup::dumpJson and the process-wide
+ * MetricsRegistry: the JSON layout is a contract with external tooling
+ * (docs/observability.md), so these tests pin it down.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/stats.hh"
+#include "../support/mini_json.hh"
+
+using namespace fp::common;
+using fp::testing::JsonValue;
+using fp::testing::parseJson;
+
+namespace {
+
+std::string
+dumpGroup(const StatGroup &group)
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    group.dumpJson(json);
+    return os.str();
+}
+
+} // namespace
+
+TEST(StatsJsonTest, EmptyGroupStillEmitsAllSections)
+{
+    StatGroup group("empty");
+    auto doc = parseJson(dumpGroup(group));
+    EXPECT_EQ(doc.at("name").string, "empty");
+    EXPECT_TRUE(doc.at("scalars").isObject());
+    EXPECT_TRUE(doc.at("averages").isObject());
+    EXPECT_TRUE(doc.at("distributions").isObject());
+    EXPECT_TRUE(doc.at("histograms").isObject());
+}
+
+TEST(StatsJsonTest, ScalarSchema)
+{
+    StatGroup group("link");
+    Scalar bytes;
+    bytes.set(1536.0);
+    group.registerScalar("wire_bytes", &bytes, "bytes on the wire");
+    auto doc = parseJson(dumpGroup(group));
+    const JsonValue &s = doc.at("scalars").at("wire_bytes");
+    EXPECT_DOUBLE_EQ(s.at("value").number, 1536.0);
+    EXPECT_EQ(s.at("desc").string, "bytes on the wire");
+}
+
+TEST(StatsJsonTest, AverageSchema)
+{
+    StatGroup group("egress");
+    Average avg;
+    avg.sample(10.0);
+    avg.sample(20.0);
+    group.registerAverage("stores_per_message", &avg);
+    auto doc = parseJson(dumpGroup(group));
+    const JsonValue &a = doc.at("averages").at("stores_per_message");
+    EXPECT_DOUBLE_EQ(a.at("mean").number, 15.0);
+    EXPECT_DOUBLE_EQ(a.at("sum").number, 30.0);
+    EXPECT_DOUBLE_EQ(a.at("count").number, 2.0);
+    // desc was omitted at registration, so the member must be absent.
+    EXPECT_FALSE(a.has("desc"));
+}
+
+TEST(StatsJsonTest, DistributionSchema)
+{
+    StatGroup group("rwq");
+    Distribution d;
+    d.init(0.0, 8.0, 4);
+    d.sample(1.0);
+    d.sample(3.0);
+    d.sample(9.0); // overflow
+    group.registerDistribution("occupancy", &d, "entries per window");
+    auto doc = parseJson(dumpGroup(group));
+    const JsonValue &dist = doc.at("distributions").at("occupancy");
+    EXPECT_DOUBLE_EQ(dist.at("count").number, 3.0);
+    EXPECT_DOUBLE_EQ(dist.at("min").number, 1.0);
+    EXPECT_DOUBLE_EQ(dist.at("max").number, 9.0);
+    EXPECT_DOUBLE_EQ(dist.at("overflow").number, 1.0);
+    EXPECT_DOUBLE_EQ(dist.at("underflow").number, 0.0);
+    ASSERT_EQ(dist.at("buckets").array.size(), 4u);
+    ASSERT_EQ(dist.at("bucket_lo").array.size(), 4u);
+    EXPECT_DOUBLE_EQ(dist.at("bucket_lo").array[1].number, 2.0);
+    EXPECT_DOUBLE_EQ(dist.at("buckets").array[0].number, 1.0);
+    EXPECT_DOUBLE_EQ(dist.at("buckets").array[1].number, 1.0);
+    EXPECT_EQ(dist.at("desc").string, "entries per window");
+}
+
+TEST(StatsJsonTest, HistogramSchema)
+{
+    StatGroup group("egress");
+    Histogram h;
+    h.init({1.0, 4.0, 16.0, 64.0});
+    h.sample(2.0);
+    h.sample(8.0);
+    h.sample(8.0);
+    h.sample(128.0);
+    group.registerHistogram("store_size_bytes", &h, "store sizes");
+    auto doc = parseJson(dumpGroup(group));
+    const JsonValue &hist = doc.at("histograms").at("store_size_bytes");
+    EXPECT_DOUBLE_EQ(hist.at("total").number, 4.0);
+    ASSERT_EQ(hist.at("edges").array.size(), 4u);
+    ASSERT_EQ(hist.at("counts").array.size(), 4u);
+    EXPECT_DOUBLE_EQ(hist.at("edges").array[2].number, 16.0);
+    EXPECT_DOUBLE_EQ(hist.at("counts").array[0].number, 1.0);
+    EXPECT_DOUBLE_EQ(hist.at("counts").array[1].number, 2.0);
+    EXPECT_DOUBLE_EQ(hist.at("counts").array[3].number, 1.0);
+    EXPECT_EQ(hist.at("desc").string, "store sizes");
+}
+
+TEST(StatsJsonTest, RegistryTracksGroupLifetime)
+{
+    auto initial = MetricsRegistry::instance().groups().size();
+    {
+        StatGroup group("transient");
+        const auto &groups = MetricsRegistry::instance().groups();
+        ASSERT_EQ(groups.size(), initial + 1);
+        EXPECT_EQ(groups.back()->name(), "transient");
+    }
+    EXPECT_EQ(MetricsRegistry::instance().groups().size(), initial);
+}
+
+TEST(StatsJsonTest, RegistryDumpIsOneArrayInRegistrationOrder)
+{
+    auto initial = MetricsRegistry::instance().groups().size();
+    StatGroup first("alpha");
+    StatGroup second("beta");
+    Scalar s;
+    s.set(3.0);
+    second.registerScalar("x", &s);
+
+    std::ostringstream os;
+    JsonWriter json(os);
+    MetricsRegistry::instance().dumpJson(json);
+    auto doc = parseJson(os.str());
+    ASSERT_TRUE(doc.isArray());
+    ASSERT_EQ(doc.array.size(), initial + 2);
+    EXPECT_EQ(doc.array[initial].at("name").string, "alpha");
+    EXPECT_EQ(doc.array[initial + 1].at("name").string, "beta");
+    EXPECT_DOUBLE_EQ(doc.array[initial + 1]
+                         .at("scalars").at("x").at("value").number,
+                     3.0);
+}

@@ -79,6 +79,41 @@ TEST(DistributionTest, VarianceMatchesHandComputation)
     EXPECT_NEAR(d.mean(), 5.0, 1e-12);
 }
 
+TEST(DistributionTest, EmptyDistributionHasZeroMoments)
+{
+    Distribution d;
+    d.init(0.0, 10.0, 4);
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.max(), 0.0);
+}
+
+TEST(DistributionTest, SingleSampleHasZeroVariance)
+{
+    Distribution d;
+    d.init(0.0, 10.0, 4);
+    d.sample(7.5);
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_DOUBLE_EQ(d.mean(), 7.5);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(d.min(), 7.5);
+    EXPECT_DOUBLE_EQ(d.max(), 7.5);
+}
+
+TEST(DistributionTest, MinMaxTrackFirstSampleNotZero)
+{
+    // The first sample must seed min/max; a distribution whose values
+    // are all above zero must not report min() == 0.
+    Distribution d;
+    d.init(0.0, 100.0, 10);
+    d.sample(42.0);
+    d.sample(50.0);
+    EXPECT_DOUBLE_EQ(d.min(), 42.0);
+    EXPECT_DOUBLE_EQ(d.max(), 50.0);
+}
+
 TEST(DistributionTest, ResetClearsEverything)
 {
     Distribution d;
@@ -166,4 +201,47 @@ TEST(StatGroupTest, DumpContainsNamesAndValues)
     EXPECT_NE(text.find("link0.bytes"), std::string::npos);
     EXPECT_NE(text.find("7"), std::string::npos);
     EXPECT_NE(text.find("wire bytes"), std::string::npos);
+}
+
+TEST(StatGroupTest, DuplicateHistogramRegistrationPanics)
+{
+    StatGroup group("g");
+    Histogram h;
+    h.init({0.0, 1.0});
+    group.registerHistogram("sizes", &h);
+    EXPECT_THROW(group.registerHistogram("sizes", &h),
+                 fp::common::SimError);
+}
+
+TEST(StatGroupTest, DumpRendersHistogramBuckets)
+{
+    StatGroup group("egress");
+    Histogram h;
+    h.init({1.0, 4.0, 16.0});
+    h.sample(2.0);
+    h.sample(8.0);
+    h.sample(8.0);
+    group.registerHistogram("store_size", &h, "store sizes");
+    std::ostringstream os;
+    group.dump(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("egress.store_size.total"), std::string::npos);
+    EXPECT_NE(text.find("store_size[1]"), std::string::npos);
+    EXPECT_NE(text.find("store_size[4]"), std::string::npos);
+    EXPECT_NE(text.find("store_size[16]"), std::string::npos);
+    EXPECT_NE(text.find("store sizes"), std::string::npos);
+}
+
+TEST(StatGroupTest, DumpRendersDistributionSummary)
+{
+    StatGroup group("rwq");
+    Distribution d;
+    d.init(0.0, 64.0, 8);
+    d.sample(16.0);
+    group.registerDistribution("occupancy", &d, "window occupancy");
+    std::ostringstream os;
+    group.dump(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("rwq.occupancy.mean"), std::string::npos);
+    EXPECT_NE(text.find("rwq.occupancy.count"), std::string::npos);
 }

@@ -1,0 +1,157 @@
+/**
+ * Unit tests for the Chrome trace-event sink: JSON well-formedness,
+ * the ph/ts/pid field contract, tick-to-microsecond conversion, and
+ * detail-level gating.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/types.hh"
+#include "obs/trace_event.hh"
+#include "../support/mini_json.hh"
+
+using namespace fp;
+using namespace fp::obs;
+using fp::testing::JsonValue;
+using fp::testing::parseJson;
+
+namespace {
+
+JsonValue
+renderedEvents(const TraceSink &sink)
+{
+    std::ostringstream os;
+    sink.write(os);
+    auto doc = parseJson(os.str());
+    return doc.at("traceEvents");
+}
+
+} // namespace
+
+TEST(TraceSinkTest, EmptySinkWritesValidDocument)
+{
+    TraceSink sink;
+    auto events = renderedEvents(sink);
+    ASSERT_TRUE(events.isArray());
+    EXPECT_TRUE(events.array.empty());
+    EXPECT_EQ(sink.eventCount(), 0u);
+}
+
+TEST(TraceSinkTest, CompleteSpanFields)
+{
+    TraceSink sink;
+    // 3 ns to 5 ns of simulated time: ts 0.003 us, dur 0.002 us.
+    sink.complete(1, lane_rwq, "flush", "rwq", 3 * ticks_per_ns,
+                  2 * ticks_per_ns, {"entries", 12.0});
+    auto events = renderedEvents(sink);
+    ASSERT_EQ(events.array.size(), 1u);
+    const JsonValue &e = events.array[0];
+    EXPECT_EQ(e.at("ph").string, "X");
+    EXPECT_EQ(e.at("name").string, "flush");
+    EXPECT_EQ(e.at("cat").string, "rwq");
+    EXPECT_DOUBLE_EQ(e.at("pid").number, 1.0);
+    EXPECT_DOUBLE_EQ(e.at("tid").number,
+                     static_cast<double>(lane_rwq));
+    EXPECT_NEAR(e.at("ts").number, 0.003, 1e-12);
+    EXPECT_NEAR(e.at("dur").number, 0.002, 1e-12);
+    EXPECT_DOUBLE_EQ(e.at("args").at("entries").number, 12.0);
+}
+
+TEST(TraceSinkTest, InstantEventHasThreadScope)
+{
+    TraceSink sink;
+    sink.instant(2, lane_packetizer, "packet", "packetizer",
+                 7 * ticks_per_us);
+    auto events = renderedEvents(sink);
+    ASSERT_EQ(events.array.size(), 1u);
+    const JsonValue &e = events.array[0];
+    EXPECT_EQ(e.at("ph").string, "i");
+    EXPECT_EQ(e.at("s").string, "t");
+    EXPECT_NEAR(e.at("ts").number, 7.0, 1e-9);
+}
+
+TEST(TraceSinkTest, CounterEventCarriesTrackValue)
+{
+    TraceSink sink;
+    sink.counter(1, "gpu0.rwq.entries[1]", 2 * ticks_per_us, 48.0);
+    auto events = renderedEvents(sink);
+    ASSERT_EQ(events.array.size(), 1u);
+    const JsonValue &e = events.array[0];
+    EXPECT_EQ(e.at("ph").string, "C");
+    EXPECT_EQ(e.at("name").string, "gpu0.rwq.entries[1]");
+    EXPECT_DOUBLE_EQ(e.at("args").at("value").number, 48.0);
+}
+
+TEST(TraceSinkTest, MetadataNamesProcessesAndThreads)
+{
+    TraceSink sink;
+    sink.processName(1, "gpu0");
+    sink.threadName(1, lane_rwq, "rwq");
+    auto events = renderedEvents(sink);
+    ASSERT_EQ(events.array.size(), 2u);
+    const JsonValue &proc = events.array[0];
+    EXPECT_EQ(proc.at("ph").string, "M");
+    EXPECT_EQ(proc.at("name").string, "process_name");
+    EXPECT_EQ(proc.at("args").at("name").string, "gpu0");
+    const JsonValue &thread = events.array[1];
+    EXPECT_EQ(thread.at("name").string, "thread_name");
+    EXPECT_EQ(thread.at("args").at("name").string, "rwq");
+    EXPECT_DOUBLE_EQ(thread.at("tid").number,
+                     static_cast<double>(lane_rwq));
+}
+
+TEST(TraceSinkTest, ArgsWithNullKeysAreDropped)
+{
+    TraceSink sink;
+    sink.instant(0, lane_main, "bare", "phase", 0);
+    auto events = renderedEvents(sink);
+    const JsonValue &e = events.array[0];
+    // No args were passed; either the member is absent or empty.
+    if (e.has("args")) {
+        EXPECT_TRUE(e.at("args").object.empty());
+    }
+}
+
+TEST(TraceSinkTest, DetailLevels)
+{
+    TraceSink flush_sink(TraceDetail::flush);
+    EXPECT_EQ(flush_sink.detail(), TraceDetail::flush);
+    EXPECT_FALSE(flush_sink.full());
+
+    TraceSink full_sink(TraceDetail::full);
+    EXPECT_TRUE(full_sink.full());
+
+    EXPECT_STREQ(toString(TraceDetail::off), "off");
+    EXPECT_STREQ(toString(TraceDetail::flush), "flush");
+    EXPECT_STREQ(toString(TraceDetail::full), "full");
+}
+
+TEST(TraceSinkTest, GpuPidsStartAfterSimPid)
+{
+    EXPECT_EQ(trace_pid_sim, 0u);
+    EXPECT_EQ(tracePidGpu(0), 1u);
+    EXPECT_EQ(tracePidGpu(3), 4u);
+}
+
+TEST(TraceSinkTest, ManyEventsStayWellFormed)
+{
+    TraceSink sink;
+    for (Tick t = 0; t < 100; ++t) {
+        sink.complete(1, lane_main, "span", "phase", t * ticks_per_ns,
+                      ticks_per_ns, {"i", static_cast<double>(t)});
+        sink.counter(1, "track", t * ticks_per_ns,
+                     static_cast<double>(t % 7));
+    }
+    auto events = renderedEvents(sink);
+    ASSERT_EQ(events.array.size(), 200u);
+    // Timestamps of the spans must be monotone in emission order.
+    double last_ts = -1.0;
+    for (const auto &e : events.array) {
+        if (e.at("ph").string != "X")
+            continue;
+        EXPECT_GE(e.at("ts").number, last_ts);
+        last_ts = e.at("ts").number;
+    }
+}

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * A minimal recursive-descent JSON parser for test assertions.
+ *
+ * Only the tests use this: production code writes JSON through
+ * common::JsonWriter but never needs to read it back. The parser
+ * accepts the full JSON grammar (objects, arrays, strings with
+ * escapes, numbers, booleans, null) and throws std::runtime_error with
+ * a byte offset on malformed input, so a test failure points at the
+ * defect in the writer.
+ */
+
+#ifndef FP_TESTS_SUPPORT_MINI_JSON_HH
+#define FP_TESTS_SUPPORT_MINI_JSON_HH
+
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fp::testing {
+
+struct JsonValue
+{
+    enum class Kind { null, boolean, number, string, array, object };
+
+    Kind kind = Kind::null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isNull() const { return kind == Kind::null; }
+    bool isObject() const { return kind == Kind::object; }
+    bool isArray() const { return kind == Kind::array; }
+    bool isNumber() const { return kind == Kind::number; }
+    bool isString() const { return kind == Kind::string; }
+
+    bool
+    has(const std::string &key) const
+    {
+        return kind == Kind::object && object.count(key) > 0;
+    }
+
+    /** Object member access; throws when absent or not an object. */
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        if (kind != Kind::object)
+            throw std::runtime_error("not an object: ." + key);
+        auto it = object.find(key);
+        if (it == object.end())
+            throw std::runtime_error("missing key: " + key);
+        return it->second;
+    }
+};
+
+class MiniJsonParser
+{
+  public:
+    explicit MiniJsonParser(const std::string &text) : _text(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue value = parseValue();
+        skipSpace();
+        if (_pos != _text.size())
+            fail("trailing characters");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::runtime_error("json parse error at byte " +
+                                 std::to_string(_pos) + ": " + why);
+    }
+
+    void
+    skipSpace()
+    {
+        while (_pos < _text.size() &&
+               (_text[_pos] == ' ' || _text[_pos] == '\t' ||
+                _text[_pos] == '\n' || _text[_pos] == '\r'))
+            ++_pos;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        if (_pos >= _text.size())
+            fail("unexpected end of input");
+        return _text[_pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" +
+                 _text[_pos] + "'");
+        ++_pos;
+    }
+
+    bool
+    consumeLiteral(const char *literal)
+    {
+        std::size_t len = std::string(literal).size();
+        if (_text.compare(_pos, len, literal) != 0)
+            return false;
+        _pos += len;
+        return true;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        char c = peek();
+        switch (c) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': {
+            JsonValue v;
+            v.kind = JsonValue::Kind::string;
+            v.string = parseString();
+            return v;
+          }
+          case 't':
+          case 'f': {
+            JsonValue v;
+            v.kind = JsonValue::Kind::boolean;
+            if (consumeLiteral("true"))
+                v.boolean = true;
+            else if (consumeLiteral("false"))
+                v.boolean = false;
+            else
+                fail("bad literal");
+            return v;
+          }
+          case 'n': {
+            if (!consumeLiteral("null"))
+                fail("bad literal");
+            return JsonValue{};
+          }
+          default: return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::object;
+        if (peek() == '}') {
+            ++_pos;
+            return v;
+        }
+        while (true) {
+            std::string key = parseString();
+            expect(':');
+            v.object.emplace(std::move(key), parseValue());
+            char c = peek();
+            ++_pos;
+            if (c == '}')
+                return v;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::array;
+        if (peek() == ']') {
+            ++_pos;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(parseValue());
+            char c = peek();
+            ++_pos;
+            if (c == ']')
+                return v;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (_pos >= _text.size())
+                fail("unterminated string");
+            char c = _text[_pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (_pos >= _text.size())
+                fail("dangling escape");
+            char esc = _text[_pos++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (_pos + 4 > _text.size())
+                    fail("truncated \\u escape");
+                unsigned long code = std::strtoul(
+                    _text.substr(_pos, 4).c_str(), nullptr, 16);
+                _pos += 4;
+                // The writer only emits \u for control characters, so
+                // a single byte always suffices here.
+                out.push_back(static_cast<char>(code & 0x7f));
+                break;
+              }
+              default: fail("bad escape");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        skipSpace();
+        std::size_t start = _pos;
+        while (_pos < _text.size() &&
+               (std::isdigit(static_cast<unsigned char>(_text[_pos])) ||
+                _text[_pos] == '-' || _text[_pos] == '+' ||
+                _text[_pos] == '.' || _text[_pos] == 'e' ||
+                _text[_pos] == 'E'))
+            ++_pos;
+        if (_pos == start)
+            fail("expected a number");
+        JsonValue v;
+        v.kind = JsonValue::Kind::number;
+        v.number = std::atof(_text.substr(start, _pos - start).c_str());
+        return v;
+    }
+
+    const std::string &_text;
+    std::size_t _pos = 0;
+};
+
+/** Parse @p text; throws std::runtime_error on malformed input. */
+inline JsonValue
+parseJson(const std::string &text)
+{
+    return MiniJsonParser(text).parse();
+}
+
+} // namespace fp::testing
+
+#endif // FP_TESTS_SUPPORT_MINI_JSON_HH

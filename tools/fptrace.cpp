@@ -8,9 +8,14 @@
  *   info <trace.fpt>
  *       Print structural statistics of a serialized trace.
  *   replay <trace.fpt> [--paradigm P] [--pcie GEN] [--check]
+ *          [--stats-json FILE] [--trace-out FILE]
+ *          [--trace-detail full|flush|off] [--sample-ns N]
  *       Simulate a serialized trace under one paradigm. With --check,
  *       the shadow-memory protocol oracle verifies every FinePack
  *       transaction byte-for-byte against the issued store stream.
+ *       --stats-json exports every registered stat group plus sampled
+ *       time series; --trace-out writes a Chrome trace-event /
+ *       Perfetto-compatible event trace of the pipeline.
  *   list
  *       List the available workloads.
  */
@@ -21,6 +26,9 @@
 #include <string>
 
 #include "common/table.hh"
+#include "obs/metrics.hh"
+#include "obs/sampler.hh"
+#include "obs/trace_event.hh"
 #include "sim/driver.hh"
 #include "trace/trace.hh"
 #include "workloads/workload.hh"
@@ -39,6 +47,9 @@ usage()
            "  fptrace info <trace.fpt>\n"
            "  fptrace replay <trace.fpt> [--paradigm P] [--pcie 3|4|5|6]"
            " [--check]\n"
+           "                 [--stats-json FILE] [--trace-out FILE]\n"
+           "                 [--trace-detail full|flush|off]"
+           " [--sample-ns N]\n"
            "  fptrace list\n";
     return 2;
 }
@@ -179,10 +190,51 @@ cmdReplay(int argc, char **argv)
         parseParadigm(argValue(argc, argv, "--paradigm", "finepack"));
     config.check = hasFlag(argc, argv, "--check");
 
+    // ---- Observability wiring ----------------------------------------
+    const char *stats_path = argValue(argc, argv, "--stats-json", "");
+    const char *trace_path = argValue(argc, argv, "--trace-out", "");
+    std::string detail_name =
+        argValue(argc, argv, "--trace-detail", "flush");
+    obs::TraceDetail detail = detail_name == "full" ? obs::TraceDetail::full
+                              : detail_name == "off"
+                                  ? obs::TraceDetail::off
+                                  : obs::TraceDetail::flush;
+    auto sample_ns = static_cast<Tick>(
+        std::atoll(argValue(argc, argv, "--sample-ns", "1000")));
+    if (sample_ns == 0)
+        sample_ns = 1000;
+
+    obs::TraceSink tracer(detail);
+    obs::PeriodicSampler sampler(sample_ns * ticks_per_ns);
+    obs::MetricsCapture metrics;
+    if (*trace_path != '\0' && detail != obs::TraceDetail::off)
+        config.tracer = &tracer;
+    if (*stats_path != '\0') {
+        config.sampler = &sampler;
+        config.metrics = &metrics;
+    }
+
     sim::SimulationDriver driver(config);
     sim::RunResult baseline =
         driver.run(trace, sim::Paradigm::single_gpu);
     sim::RunResult result = driver.run(trace, paradigm);
+
+    if (*stats_path != '\0') {
+        std::ofstream out(stats_path);
+        if (!out)
+            fp_fatal("cannot open ", stats_path, " for writing");
+        metrics.writeDocument(out, &sampler);
+        std::cout << "stats json: " << stats_path << "\n";
+    }
+    if (config.tracer) {
+        std::ofstream out(trace_path);
+        if (!out)
+            fp_fatal("cannot open ", trace_path, " for writing");
+        tracer.write(out);
+        std::cout << "trace:      " << trace_path << " ("
+                  << tracer.eventCount() << " events, detail "
+                  << toString(detail) << ")\n";
+    }
 
     std::cout << "paradigm:   " << toString(paradigm) << " on "
               << toString(config.pcie_gen) << "\n"
