@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A tiny running digest for determinism comparisons.
+ *
+ * The schedule-perturbation harness (`fptrace racecheck`) re-runs a
+ * trace under permuted same-tick event orders and must decide whether
+ * two runs behaved identically. It compares digests: the protocol
+ * oracle folds every verified transaction into one, and the CLI folds
+ * the exported stats JSON and the RunResult fields into others. FNV-1a
+ * (64-bit) is used because it is order-sensitive, platform-independent,
+ * and trivially incremental - this is a fingerprint for equality
+ * checking, not a cryptographic hash.
+ */
+
+#ifndef FP_CHECK_DIGEST_HH
+#define FP_CHECK_DIGEST_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace fp::check {
+
+/** Incremental FNV-1a 64-bit digest. */
+class Digest
+{
+  public:
+    std::uint64_t value() const { return _hash; }
+
+    void
+    updateByte(std::uint8_t byte)
+    {
+        _hash ^= byte;
+        _hash *= 0x100000001b3ull;
+    }
+
+    void
+    update(const void *data, std::size_t size)
+    {
+        const auto *bytes = static_cast<const std::uint8_t *>(data);
+        for (std::size_t i = 0; i < size; ++i)
+            updateByte(bytes[i]);
+    }
+
+    /** Fold a 64-bit value in little-endian byte order (portable). */
+    void
+    updateU64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            updateByte(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void update(std::string_view s) { update(s.data(), s.size()); }
+
+  private:
+    std::uint64_t _hash = 0xcbf29ce484222325ull;
+};
+
+} // namespace fp::check
+
+#endif // FP_CHECK_DIGEST_HH

@@ -1,5 +1,8 @@
 #include "check/protocol_oracle.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/bitutil.hh"
 #include "common/logging.hh"
 
@@ -48,6 +51,7 @@ ProtocolOracle::storeBuffered(GpuId dst, const icn::Store &store)
     fp_assert(store.size > 0, "oracle observed a zero-size store");
     fp_assert(store.data.empty() || store.data.size() == store.size,
               "oracle observed a store with inconsistent data size");
+    _recorder.write(&pendingFor(dst), "oracle.shadow");
     pendingFor(dst).write(store.addr, store.size,
                           store.data.empty() ? nullptr
                                              : store.data.data());
@@ -59,6 +63,8 @@ ProtocolOracle::windowFlushed(const finepack::FlushedPartition &flushed,
                               finepack::FlushReason reason)
 {
     ShadowMemory &pending = pendingFor(flushed.dst);
+    _recorder.write(&pending, "oracle.shadow");
+    _recorder.write(&_outstanding, "oracle.outstanding");
 
     ExpectedImage expected;
     expected.window_base = flushed.window_base;
@@ -108,6 +114,7 @@ ProtocolOracle::verifyMessage(const icn::WireMessage &msg)
     fp_assert(msg.kind == icn::MessageKind::finepack_packet,
               "oracle can only verify finepack_packet messages");
     fp_assert(msg.src == _src, "oracle attached to the wrong GPU");
+    _recorder.write(&_outstanding, "oracle.outstanding");
 
     auto it = _outstanding.find(msg.dst);
     if (it == _outstanding.end() || it->second.empty()) {
@@ -121,7 +128,18 @@ ProtocolOracle::verifyMessage(const icn::WireMessage &msg)
     const Addr window_hi = window_lo + _config.addressableRange();
     std::uint64_t data_bytes = 0;
 
+    // Fold the transaction into the run digest in emission order:
+    // destination, window geometry, then each sub-packet's placement
+    // and data. Schedule-independent runs fold identical sequences.
+    _digest.updateU64(msg.dst);
+    _digest.updateU64(expected.window_base);
+    _digest.updateU64(msg.stores.size());
+
     for (const icn::Store &store : msg.stores) {
+        _digest.updateU64(store.addr);
+        _digest.updateU64(store.size);
+        if (!store.data.empty())
+            _digest.update(store.data.data(), store.data.size());
         // Structural sub-packet checks: the offset must be encodable in
         // the sub-header's offset field and the length in its 10-bit
         // length field.
@@ -198,7 +216,15 @@ ProtocolOracle::verifyMessage(const icn::WireMessage &msg)
 void
 ProtocolOracle::verifyDrained() const
 {
-    for (const auto &[dst, pending] : _pending) {
+    // Visit destinations in sorted order so a failure always names the
+    // lowest offending GPU, independent of hash-map layout.
+    std::vector<GpuId> dsts;
+    // fp-lint: allow(unordered-iteration) keys are sorted before use
+    for (const auto &[dst, pending] : _pending)
+        dsts.push_back(dst);
+    std::sort(dsts.begin(), dsts.end());
+    for (GpuId dst : dsts) {
+        const ShadowMemory &pending = _pending.at(dst);
         if (!pending.empty()) {
             fp_panic("oracle: GPU ", _src, " left ", pending.population(),
                      " byte(s) for GPU ", dst,
@@ -206,7 +232,13 @@ ProtocolOracle::verifyDrained() const
                      residentSummary(pending), ")");
         }
     }
-    for (const auto &[dst, flushes] : _outstanding) {
+    dsts.clear();
+    // fp-lint: allow(unordered-iteration) keys are sorted before use
+    for (const auto &[dst, flushes] : _outstanding)
+        dsts.push_back(dst);
+    std::sort(dsts.begin(), dsts.end());
+    for (GpuId dst : dsts) {
+        const auto &flushes = _outstanding.at(dst);
         if (!flushes.empty()) {
             fp_panic("oracle: GPU ", _src, " flushed ", flushes.size(),
                      " window(s) for GPU ", dst,

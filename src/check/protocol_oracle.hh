@@ -35,7 +35,9 @@
 #include <deque>
 #include <unordered_map>
 
+#include "check/digest.hh"
 #include "check/shadow_memory.hh"
+#include "common/event_queue.hh"
 #include "finepack/config.hh"
 #include "finepack/remote_write_queue.hh"
 #include "interconnect/message.hh"
@@ -68,6 +70,15 @@ class ProtocolOracle : public finepack::RwqObserver
 
     GpuId src() const { return _src; }
 
+    /**
+     * Declare the oracle's shadow-memory mutations to the determinism
+     * tooling (see docs/determinism.md). The default-constructed
+     * recorder is inert; the driver installs a live one when a race
+     * detector observes the run.
+     */
+    void setAccessRecorder(common::AccessRecorder recorder)
+    { _recorder = recorder; }
+
     // ---- Statistics ---------------------------------------------------
     /** Stores replayed into the reference model. */
     std::uint64_t storesRecorded() const { return _stores_recorded; }
@@ -79,6 +90,16 @@ class ProtocolOracle : public finepack::RwqObserver
     /** Subset of bytesVerified() with data present on both sides. */
     std::uint64_t valueBytesVerified() const
     { return _value_bytes_verified; }
+
+    /**
+     * Order-sensitive fingerprint of every verified transaction
+     * (destination, window base, sub-packet geometry, and data bytes),
+     * folded in emission order. Two runs of the same trace that
+     * packetize the same transactions in the same order - the
+     * schedule-independence `fptrace racecheck` proves - produce
+     * identical digests.
+     */
+    std::uint64_t digest() const { return _digest.value(); }
 
   private:
     /** The byte image one flushed window must packetize into. */
@@ -103,6 +124,8 @@ class ProtocolOracle : public finepack::RwqObserver
     std::uint64_t _transactions_verified = 0;
     std::uint64_t _bytes_verified = 0;
     std::uint64_t _value_bytes_verified = 0;
+    Digest _digest;
+    common::AccessRecorder _recorder;
 };
 
 } // namespace fp::check

@@ -1,0 +1,246 @@
+#include "check/race_detector.hh"
+
+#include <map>
+
+#include "common/json.hh"
+
+namespace fp::check {
+
+const char *
+RaceConflict::kind() const
+{
+    return first_write && second_write ? "W/W" : "R/W";
+}
+
+void
+RaceDetector::waive(std::string glob)
+{
+    _waivers.push_back(std::move(glob));
+}
+
+void
+RaceDetector::beginEvent(const common::Event &event)
+{
+    ++_events_observed;
+    Tick when = event.when();
+    int priority = event.priority();
+    if (_in_batch &&
+        (when != _batch_tick || priority != _batch_priority)) {
+        analyzeBatch();
+        _batch.clear();
+    }
+    _in_batch = true;
+    _batch_tick = when;
+    _batch_priority = priority;
+
+    EventRecord record;
+    record.sequence = event.sequence();
+    record.description = event.description();
+    _batch.push_back(std::move(record));
+    _event_open = true;
+}
+
+void
+RaceDetector::endEvent(const common::Event &event)
+{
+    (void)event;
+    _event_open = false;
+}
+
+void
+RaceDetector::recordAccess(const void *resource, const char *label,
+                           bool is_write)
+{
+    // Accesses outside any event (driver setup, teardown) cannot race
+    // on scheduling order; ignore them.
+    if (!_event_open || _batch.empty())
+        return;
+    ++_accesses_recorded;
+
+    // Dedupe within the event: repeated accesses to the same resource
+    // by one process() add nothing (a write subsumes a read).
+    auto &accesses = _batch.back().accesses;
+    for (auto &access : accesses) {
+        if (access.resource == resource) {
+            access.write |= is_write;
+            return;
+        }
+    }
+    accesses.push_back(Access{resource, label, is_write});
+}
+
+void
+RaceDetector::finish()
+{
+    if (_in_batch) {
+        analyzeBatch();
+        _batch.clear();
+        _in_batch = false;
+    }
+}
+
+void
+RaceDetector::reset()
+{
+    _batch.clear();
+    _in_batch = false;
+    _event_open = false;
+    _conflicts.clear();
+    _events_observed = 0;
+    _accesses_recorded = 0;
+    _contended_batches = 0;
+    _waived_conflicts = 0;
+    _dropped_conflicts = 0;
+}
+
+void
+RaceDetector::analyzeBatch()
+{
+    if (_batch.size() < 2)
+        return;
+    ++_contended_batches;
+
+    // Per-resource: the first writing and first reading event seen, in
+    // execution order. One conflict is reported per resource per batch
+    // (the first pair) - enough to locate the race without flooding.
+    constexpr std::size_t npos = ~std::size_t{0};
+    struct ResourceState
+    {
+        std::size_t writer = npos;
+        std::size_t reader = npos;
+        const char *label = nullptr;
+        bool done = false;
+    };
+    std::map<const void *, ResourceState> state;
+
+    auto emit = [this](std::size_t first_idx, bool first_write,
+                       std::size_t second_idx, bool second_write,
+                       const char *label, const void *resource) {
+        if (waived(label)) {
+            ++_waived_conflicts;
+            return;
+        }
+        if (_conflicts.size() >= max_reported_conflicts) {
+            ++_dropped_conflicts;
+            return;
+        }
+        RaceConflict conflict;
+        conflict.tick = _batch_tick;
+        conflict.priority = _batch_priority;
+        conflict.label = label != nullptr ? label : "?";
+        conflict.resource = resource;
+        conflict.first_event = _batch[first_idx].description;
+        conflict.second_event = _batch[second_idx].description;
+        conflict.first_sequence = _batch[first_idx].sequence;
+        conflict.second_sequence = _batch[second_idx].sequence;
+        conflict.first_write = first_write;
+        conflict.second_write = second_write;
+        _conflicts.push_back(std::move(conflict));
+    };
+
+    for (std::size_t e = 0; e < _batch.size(); ++e) {
+        for (const Access &access : _batch[e].accesses) {
+            ResourceState &rs = state[access.resource];
+            if (rs.label == nullptr)
+                rs.label = access.label;
+            if (rs.done)
+                continue;
+            if (access.write) {
+                if (rs.writer != npos && rs.writer != e) {
+                    emit(rs.writer, true, e, true, rs.label,
+                         access.resource);
+                    rs.done = true;
+                } else if (rs.reader != npos &&
+                           rs.reader != e) {
+                    emit(rs.reader, false, e, true, rs.label,
+                         access.resource);
+                    rs.done = true;
+                } else if (rs.writer == npos) {
+                    rs.writer = e;
+                }
+            } else {
+                if (rs.writer != npos && rs.writer != e) {
+                    emit(rs.writer, true, e, false, rs.label,
+                         access.resource);
+                    rs.done = true;
+                } else if (rs.reader == npos) {
+                    rs.reader = e;
+                }
+            }
+        }
+    }
+}
+
+bool
+RaceDetector::waived(const char *label) const
+{
+    if (label == nullptr)
+        return false;
+    for (const std::string &glob : _waivers)
+        if (globMatch(glob, label))
+            return true;
+    return false;
+}
+
+bool
+RaceDetector::globMatch(const std::string &glob, const std::string &text)
+{
+    // Iterative '*' matcher with backtracking to the last star.
+    std::size_t g = 0, t = 0;
+    std::size_t star = std::string::npos, mark = 0;
+    while (t < text.size()) {
+        if (g < glob.size() &&
+            (glob[g] == text[t] || glob[g] == '?')) {
+            ++g;
+            ++t;
+        } else if (g < glob.size() && glob[g] == '*') {
+            star = g++;
+            mark = t;
+        } else if (star != std::string::npos) {
+            g = star + 1;
+            t = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (g < glob.size() && glob[g] == '*')
+        ++g;
+    return g == glob.size();
+}
+
+void
+RaceDetector::writeReport(std::ostream &os) const
+{
+    common::JsonWriter json(os);
+    json.beginObject();
+    json.kv("events_observed", _events_observed);
+    json.kv("accesses_recorded", _accesses_recorded);
+    json.kv("contended_batches", _contended_batches);
+    json.kv("waived_conflicts", _waived_conflicts);
+    json.kv("dropped_conflicts", _dropped_conflicts);
+    json.key("waivers");
+    json.beginArray();
+    for (const std::string &glob : _waivers)
+        json.value(glob);
+    json.endArray();
+    json.key("conflicts");
+    json.beginArray();
+    for (const RaceConflict &conflict : _conflicts) {
+        json.beginObject();
+        json.kv("tick", conflict.tick);
+        json.kv("priority", conflict.priority);
+        json.kv("kind", conflict.kind());
+        json.kv("resource", conflict.label);
+        json.kv("first_event", conflict.first_event);
+        json.kv("first_sequence", conflict.first_sequence);
+        json.kv("first_write", conflict.first_write);
+        json.kv("second_event", conflict.second_event);
+        json.kv("second_sequence", conflict.second_sequence);
+        json.kv("second_write", conflict.second_write);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+} // namespace fp::check

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The same-tick race detector (determinism tooling).
+ *
+ * The event queue's only ordering guarantee for two events at the same
+ * (tick, priority) is insertion order - a tie-break, not a contract.
+ * Any two such events whose handlers touch the same logical state with
+ * at least one writer produce a result that depends on *scheduling
+ * order alone*: the exact class of silent nondeterminism that makes
+ * fine-grained traffic measurements untrustworthy and refactors of the
+ * hot paths hazardous.
+ *
+ * The detector implements common::EventQueueObserver. Components
+ * declare their logical accesses through common::AccessRecorder; the
+ * detector batches declarations per (tick, priority) group and flags
+ * every conflicting pair (W/W or R/W) between *different* events in
+ * the same group. Accesses by the same event never conflict (a single
+ * process() is atomic in simulated time), and groups at different
+ * ticks or priorities are ordered by construction.
+ *
+ * Known-commutative resources (e.g. FIFO arbitration whose aggregate
+ * outcome is order-insensitive) can be waived by label glob; waived
+ * conflicts are counted but not reported as failures. The dynamic
+ * complement - proving the waiver sound - is the schedule-perturbation
+ * harness (`fptrace racecheck`), which re-runs the trace under shuffled
+ * tie-breaks and diffs oracle and stats digests.
+ */
+
+#ifndef FP_CHECK_RACE_DETECTOR_HH
+#define FP_CHECK_RACE_DETECTOR_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/types.hh"
+
+namespace fp::check {
+
+/** One detected same-(tick, priority) access conflict. */
+struct RaceConflict
+{
+    Tick tick = 0;
+    int priority = 0;
+    /** Label of the conflicted resource (as declared by the accessor). */
+    std::string label;
+    /** Identity of the conflicted resource (stable address). */
+    const void *resource = nullptr;
+    /** Descriptions of the two racing events, in execution order. */
+    std::string first_event;
+    std::string second_event;
+    /** Scheduling sequence numbers of the two events. */
+    std::uint64_t first_sequence = 0;
+    std::uint64_t second_sequence = 0;
+    /** Access modes: true = write. W/W or R/W by construction. */
+    bool first_write = false;
+    bool second_write = false;
+
+    /** "W/W" or "R/W" (reads never conflict with reads). */
+    const char *kind() const;
+};
+
+/** Flags insertion-order-dependent outcomes; see file comment. */
+class RaceDetector : public common::EventQueueObserver
+{
+  public:
+    RaceDetector() = default;
+
+    /**
+     * Waive conflicts on resources whose label matches @p glob
+     * ('*' matches any run of characters). Waived conflicts are
+     * counted in waivedConflicts() but kept out of conflicts().
+     */
+    void waive(std::string glob);
+
+    /** Globs registered via waive(), in registration order. */
+    const std::vector<std::string> &waivers() const { return _waivers; }
+
+    // ---- EventQueueObserver --------------------------------------------
+    void beginEvent(const common::Event &event) override;
+    void endEvent(const common::Event &event) override;
+    void recordAccess(const void *resource, const char *label,
+                      bool is_write) override;
+
+    /**
+     * Analyze the trailing batch. Call after the run completes (the
+     * observer only closes a batch when the next one opens).
+     */
+    void finish();
+
+    /** Unwaived conflicts, in detection order (capped; see dropped). */
+    const std::vector<RaceConflict> &conflicts() const
+    { return _conflicts; }
+
+    std::uint64_t eventsObserved() const { return _events_observed; }
+    std::uint64_t accessesRecorded() const { return _accesses_recorded; }
+    /** Same-(tick, priority) groups with more than one event. */
+    std::uint64_t contendedBatches() const { return _contended_batches; }
+    std::uint64_t waivedConflicts() const { return _waived_conflicts; }
+    /** Unwaived conflicts beyond the report cap (counted, not kept). */
+    std::uint64_t droppedConflicts() const { return _dropped_conflicts; }
+
+    /** Reset all batches, conflicts, and counters (waivers persist). */
+    void reset();
+
+    /**
+     * Serialize the detection summary and conflict list as one JSON
+     * object (schema documented in docs/determinism.md).
+     */
+    void writeReport(std::ostream &os) const;
+
+    /** '*'-glob match, exposed for tests and the CLI's waiver check. */
+    static bool globMatch(const std::string &glob,
+                          const std::string &text);
+
+  private:
+    struct Access
+    {
+        const void *resource;
+        const char *label;
+        bool write;
+    };
+
+    struct EventRecord
+    {
+        std::uint64_t sequence = 0;
+        std::string description;
+        std::vector<Access> accesses;
+    };
+
+    /** At most this many conflicts are retained for the report. */
+    static constexpr std::size_t max_reported_conflicts = 256;
+
+    void analyzeBatch();
+    bool waived(const char *label) const;
+
+    Tick _batch_tick = 0;
+    int _batch_priority = 0;
+    bool _in_batch = false;
+    std::vector<EventRecord> _batch;
+    bool _event_open = false;
+
+    std::vector<RaceConflict> _conflicts;
+    std::vector<std::string> _waivers;
+
+    std::uint64_t _events_observed = 0;
+    std::uint64_t _accesses_recorded = 0;
+    std::uint64_t _contended_batches = 0;
+    std::uint64_t _waived_conflicts = 0;
+    std::uint64_t _dropped_conflicts = 0;
+};
+
+} // namespace fp::check
+
+#endif // FP_CHECK_RACE_DETECTOR_HH

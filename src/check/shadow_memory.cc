@@ -80,6 +80,7 @@ ShadowMemory::sampleResident(std::size_t max) const
 {
     std::vector<Addr> line_addrs;
     line_addrs.reserve(_lines.size());
+    // fp-lint: allow(unordered-iteration) keys are sorted before use
     for (const auto &[line_addr, line] : _lines)
         line_addrs.push_back(line_addr);
     std::sort(line_addrs.begin(), line_addrs.end());

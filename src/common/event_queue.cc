@@ -6,6 +6,24 @@
 
 namespace fp::common {
 
+namespace {
+
+/**
+ * SplitMix64 finalizer: a fixed, platform-independent bijection on
+ * 64-bit values. Applied to (seed ^ sequence) it yields one stable
+ * pseudo-random permutation of same-(tick, priority) ties per seed.
+ */
+std::uint64_t
+mixTieKey(std::uint64_t seed, std::uint64_t sequence)
+{
+    std::uint64_t z = (seed + 0x9e3779b97f4a7c15ull) ^ sequence;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
 void
 EventQueue::schedule(Event *event, Tick when)
 {
@@ -21,7 +39,27 @@ EventQueue::schedule(Event *event, Tick when)
     event->_when = when;
     event->_sequence = _next_sequence++;
     event->_scheduled = true;
-    _queue.push(Entry{when, event->priority(), event->_sequence, event});
+    std::uint64_t tie_key =
+        _shuffle ? mixTieKey(_shuffle_seed, event->_sequence)
+                 : event->_sequence;
+    _queue.push(Entry{when, event->priority(), tie_key, event->_sequence,
+                      event});
+}
+
+void
+EventQueue::enableTieBreakShuffle(std::uint64_t seed)
+{
+    fp_assert(empty(), "cannot change tie-break mode with events queued");
+    _shuffle = true;
+    _shuffle_seed = seed;
+}
+
+void
+EventQueue::disableTieBreakShuffle()
+{
+    fp_assert(empty(), "cannot change tie-break mode with events queued");
+    _shuffle = false;
+    _shuffle_seed = 0;
 }
 
 void
@@ -65,7 +103,11 @@ EventQueue::step()
     Event *event = top.event;
     event->_scheduled = false;
     ++_processed;
+    if (_observer)
+        _observer->beginEvent(*event);
     event->process();
+    if (_observer)
+        _observer->endEvent(*event);
     collectGarbage();
     return true;
 }
@@ -79,17 +121,21 @@ EventQueue::run(Tick limit)
             break;
         step();
     }
+    // The queue is idle: reclaim every executed one-shot lambda now so
+    // repeated run() cycles (one per driver iteration) never
+    // accumulate ownership records up to the amortized GC threshold.
+    collectGarbage(/*force=*/true);
     return _now;
 }
 
 void
-EventQueue::collectGarbage()
+EventQueue::collectGarbage(bool force)
 {
     // Periodically drop completed one-shot lambda events so long
     // simulations do not accumulate unbounded ownership records. The
     // threshold doubles with the surviving population so the amortized
     // cost per event stays constant.
-    if (_owned.size() < _gc_threshold)
+    if (!force && _owned.size() < _gc_threshold)
         return;
     std::erase_if(_owned, [](const std::unique_ptr<LambdaEvent> &event) {
         return !event->scheduled();

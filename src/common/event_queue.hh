@@ -66,6 +66,14 @@ class Event
     Tick when() const { return _when; }
     int priority() const { return _priority; }
 
+    /**
+     * Insertion-order id of the most recent scheduling. Two live events
+     * at the same (tick, priority) execute in sequence order (unless
+     * the queue's tie-break shuffle is enabled); observers use it to
+     * report which of two racing events would run first.
+     */
+    std::uint64_t sequence() const { return _sequence; }
+
     /** Deschedule without executing; safe to call when not scheduled. */
     void cancel() { _scheduled = false; }
 
@@ -94,6 +102,39 @@ class LambdaEvent : public Event
 };
 
 /**
+ * Observes event execution on an EventQueue (at most one per queue).
+ *
+ * The hooks fire synchronously on the simulation path: beginEvent()
+ * immediately before an event's process(), endEvent() immediately
+ * after, and recordAccess() whenever code running under the current
+ * event declares a logical state access through an AccessRecorder.
+ * The determinism tooling (check::RaceDetector) implements this to
+ * flag same-(tick, priority) events with conflicting accesses - the
+ * outcomes that silently depend on insertion order.
+ */
+class EventQueueObserver
+{
+  public:
+    virtual ~EventQueueObserver() = default;
+
+    /** @p event is about to process() at the queue's current tick. */
+    virtual void beginEvent(const Event &event) = 0;
+
+    /** The event's process() returned. */
+    virtual void endEvent(const Event &event) = 0;
+
+    /**
+     * Code running under the current event declared a logical access.
+     * @p resource identifies the state (any stable address - a
+     * component, a queue partition, a buffer); @p label is a stable,
+     * human-readable name for reports and waivers; @p is_write
+     * distinguishes mutation from inspection.
+     */
+    virtual void recordAccess(const void *resource, const char *label,
+                              bool is_write) = 0;
+};
+
+/**
  * The central event queue. Deterministic: ties at the same (tick, priority)
  * break by insertion order. Cancelled and rescheduled events leave stale
  * heap entries that are pruned lazily; staleness is detected by sequence
@@ -106,6 +147,33 @@ class EventQueue
 
     /** Current simulated time. */
     Tick now() const { return _now; }
+
+    /**
+     * Attach an execution observer (nullptr detaches; the caller keeps
+     * ownership). Costs one branch per event when attached, nothing
+     * measurable when not.
+     */
+    void setObserver(EventQueueObserver *observer)
+    { _observer = observer; }
+
+    EventQueueObserver *observer() const { return _observer; }
+
+    /**
+     * Enable the schedule-perturbation mode: ties at the same
+     * (tick, priority) break by a seeded pseudo-random key instead of
+     * insertion order. Every seed yields one fixed, reproducible
+     * permutation; events at different ticks or priorities are
+     * unaffected. Must be called while the queue is empty (keys are
+     * stamped at schedule time). A run whose results change under any
+     * seed depends on insertion order somewhere - the property
+     * `fptrace racecheck` falsifies.
+     */
+    void enableTieBreakShuffle(std::uint64_t seed);
+
+    /** Restore insertion-order tie-breaking (queue must be empty). */
+    void disableTieBreakShuffle();
+
+    bool tieBreakShuffleEnabled() const { return _shuffle; }
 
     /** Schedule @p event at absolute time @p when (>= now). */
     void schedule(Event *event, Tick when);
@@ -150,11 +218,20 @@ class EventQueue
     /** Total number of events processed since construction. */
     std::uint64_t eventsProcessed() const { return _processed; }
 
+    /**
+     * Ownership records still held for queue-owned lambda events
+     * (executed ones are reclaimed on the GC threshold and whenever
+     * run() completes; exposed so tests can bound retention).
+     */
+    std::size_t ownedPending() const { return _owned.size(); }
+
   private:
     struct Entry
     {
         Tick when;
         int priority;
+        /** Tie-break key: the sequence, or its shuffled image. */
+        std::uint64_t tie_key;
         std::uint64_t sequence;
         Event *event;
 
@@ -165,13 +242,20 @@ class EventQueue
                 return when > other.when;
             if (priority != other.priority)
                 return priority > other.priority;
+            if (tie_key != other.tie_key)
+                return tie_key > other.tie_key;
             return sequence > other.sequence;
         }
     };
 
     /** Pop heap entries whose event was cancelled or rescheduled. */
     void pruneStale();
-    void collectGarbage();
+    /**
+     * Reclaim executed queue-owned lambdas. Amortized via
+     * _gc_threshold on the hot path; @p force (used when run()
+     * completes) sweeps unconditionally so idle queues hold nothing.
+     */
+    void collectGarbage(bool force = false);
 
     bool
     isStale(const Entry &entry) const
@@ -186,6 +270,53 @@ class EventQueue
     std::uint64_t _next_sequence = 0;
     std::uint64_t _processed = 0;
     std::size_t _gc_threshold = 4096;
+    EventQueueObserver *_observer = nullptr;
+    bool _shuffle = false;
+    std::uint64_t _shuffle_seed = 0;
+};
+
+/**
+ * Scoped access declaration for the determinism tooling. Component
+ * code constructs one (per method, on the stack) and declares the
+ * logical state it reads or mutates while handling the current event:
+ *
+ *     common::AccessRecorder rec(eventQueue());
+ *     rec.write(this, name().c_str());
+ *
+ * When no observer is attached - every normal run - the whole object
+ * is a cached null pointer and each call is a single branch. @p label
+ * must outlive the observer's analysis (component names and string
+ * literals qualify).
+ */
+class AccessRecorder
+{
+  public:
+    /** Inert recorder (no observer); every call is a null-pointer test. */
+    AccessRecorder() = default;
+
+    explicit AccessRecorder(const EventQueue &queue)
+        : _observer(queue.observer())
+    {}
+
+    /** True when a detector is listening (lets callers skip work). */
+    bool active() const { return _observer != nullptr; }
+
+    void
+    read(const void *resource, const char *label)
+    {
+        if (_observer)
+            _observer->recordAccess(resource, label, false);
+    }
+
+    void
+    write(const void *resource, const char *label)
+    {
+        if (_observer)
+            _observer->recordAccess(resource, label, true);
+    }
+
+  private:
+    EventQueueObserver *_observer = nullptr;
 };
 
 } // namespace fp::common

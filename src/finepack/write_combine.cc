@@ -77,6 +77,7 @@ WriteCombineBuffer::flushAll()
 {
     std::vector<WcLine> lines;
     lines.reserve(_lines.size());
+    // fp-lint: allow(unordered-iteration) lines are sorted by address below
     for (auto &[addr, slot] : _lines) {
         (void)addr;
         lines.push_back(std::move(slot.line));

@@ -29,6 +29,7 @@ DmaEngine::copy(GpuId dst, const icn::AddrRange &range)
 {
     fp_assert(dst != _self, "DMA copy to self");
     fp_assert(range.size > 0, "empty DMA copy");
+    common::AccessRecorder(eventQueue()).write(this, name().c_str());
 
     ++_copies;
     _bytes += static_cast<double>(range.size);

@@ -137,6 +137,10 @@ EgressPort::EgressPort(const std::string &name, common::EventQueue &queue,
         _rwq = std::make_unique<finepack::RemoteWriteQueue>(self, num_gpus,
                                                             config);
         _packetizer = std::make_unique<finepack::Packetizer>(self, config);
+        for (GpuId g = 0; g < num_gpus; ++g)
+            _rwq_labels.push_back(name + ".rwq[" + std::to_string(g) +
+                                  "]");
+        _packetizer_label = name + ".packetizer";
     } else if (_mode == EgressMode::write_combine) {
         _wc.resize(num_gpus);
         for (GpuId g = 0; g < num_gpus; ++g) {
@@ -171,6 +175,7 @@ EgressPort::issueStore(const icn::Store &store)
     fp_assert(store.dst < _num_gpus && store.dst != _self,
               "bad store destination ", store.dst);
     fp_assert(store.size > 0, "zero-size store");
+    common::AccessRecorder(eventQueue()).write(this, name().c_str());
 
     // Split accesses that cross cache-line boundaries; the L1 coalescer
     // normally guarantees this, but the public API tolerates any store.
@@ -201,6 +206,7 @@ EgressPort::issueStores(const std::vector<icn::Store> &stores,
                         std::size_t begin, std::size_t end)
 {
     fp_assert(begin <= end && end <= stores.size(), "bad batch bounds");
+    common::AccessRecorder(eventQueue()).write(this, name().c_str());
 
     if (_mode != EgressMode::raw_p2p) {
         for (std::size_t i = begin; i < end; ++i)
@@ -261,6 +267,9 @@ EgressPort::issueAligned(const icn::Store &store)
         sendRaw(store, icn::MessageKind::raw_store);
         break;
       case EgressMode::finepack: {
+        common::AccessRecorder(eventQueue())
+            .write(&_rwq->partition(store.dst),
+                   _rwq_labels[store.dst].c_str());
         _flush_scratch.clear();
         _rwq->push(store, _flush_scratch);
         for (const auto &flushed : _flush_scratch)
@@ -292,6 +301,9 @@ EgressPort::issueAtomic(const icn::Store &store)
     // an overlapping address must flush first so same-address ordering
     // holds, then the atomic travels as its own transaction.
     if (_mode == EgressMode::finepack) {
+        common::AccessRecorder(eventQueue())
+            .write(&_rwq->partition(store.dst),
+                   _rwq_labels[store.dst].c_str());
         _flush_scratch.clear();
         _rwq->flushIfConflict(store.dst, store.addr, store.size,
                               finepack::FlushReason::atomic_conflict,
@@ -311,6 +323,7 @@ EgressPort::issueAtomic(const icn::Store &store)
 void
 EgressPort::releaseFence()
 {
+    common::AccessRecorder(eventQueue()).write(this, name().c_str());
     switch (_mode) {
       case EgressMode::raw_p2p:
         break; // nothing buffered
@@ -335,7 +348,10 @@ void
 EgressPort::notifyRemoteLoad(GpuId dst, Addr addr, std::uint32_t size)
 {
     fp_assert(dst < _num_gpus && dst != _self, "bad load destination");
+    common::AccessRecorder(eventQueue()).write(this, name().c_str());
     if (_mode == EgressMode::finepack) {
+        common::AccessRecorder(eventQueue())
+            .write(&_rwq->partition(dst), _rwq_labels[dst].c_str());
         _flush_scratch.clear();
         _rwq->flushIfConflict(dst, addr, size,
                               finepack::FlushReason::load_conflict,
@@ -403,6 +419,8 @@ EgressPort::setTracer(obs::TraceSink *tracer)
 void
 EgressPort::sendFlushed(const finepack::FlushedPartition &flushed)
 {
+    common::AccessRecorder(eventQueue())
+        .write(_packetizer.get(), _packetizer_label.c_str());
     icn::WireMessagePtr msg = _packetizer->toMessage(flushed, _protocol);
     if (_oracle)
         _oracle->verifyMessage(*msg);
@@ -439,6 +457,9 @@ EgressPort::armTimeout(GpuId dst)
 void
 EgressPort::timeoutFired(GpuId dst)
 {
+    common::AccessRecorder(eventQueue()).write(this, name().c_str());
+    common::AccessRecorder(eventQueue())
+        .write(&_rwq->partition(dst), _rwq_labels[dst].c_str());
     _timeout_armed[dst] = false;
     if (_rwq->partition(dst).empty())
         return;

@@ -161,6 +161,15 @@ class EgressPort : public common::SimObject
     Tick _flush_timeout;
     std::vector<Tick> _last_push;     ///< per destination
     std::vector<bool> _timeout_armed; ///< per destination
+
+    /**
+     * Stable labels for determinism-analysis access declarations
+     * (finepack mode): one per RWQ partition plus the packetizer.
+     * AccessRecorder keeps only the const char*, so these must outlive
+     * every recorded access.
+     */
+    std::vector<std::string> _rwq_labels;
+    std::string _packetizer_label;
 };
 
 } // namespace fp::gpu

@@ -97,9 +97,11 @@ FunctionalMemory::sameContents(const FunctionalMemory &other) const
         return true;
     };
 
+    // fp-lint: allow(unordered-iteration) set equality is order-insensitive
     for (const auto &[addr, page] : _pages)
         if (!page_matches(page.get(), other.pageForConst(addr)))
             return false;
+    // fp-lint: allow(unordered-iteration) set equality is order-insensitive
     for (const auto &[addr, page] : other._pages)
         if (!pageForConst(addr) && !page_matches(nullptr, page.get()))
             return false;

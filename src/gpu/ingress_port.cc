@@ -20,6 +20,7 @@ void
 IngressPort::receive(const icn::WireMessagePtr &msg)
 {
     fp_assert(msg->dst == _self, "message delivered to wrong GPU");
+    common::AccessRecorder(eventQueue()).write(this, name().c_str());
 
     ++_messages;
     _stores += static_cast<double>(msg->stores.size());

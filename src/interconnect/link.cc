@@ -41,6 +41,7 @@ Link::releaseCredits(std::uint64_t bytes)
 {
     if (_credit_limit == 0)
         return;
+    common::AccessRecorder(eventQueue()).write(this, name().c_str());
     fp_assert(bytes <= _credits_in_use,
               "credit release underflow on ", name());
     _credits_in_use -= bytes;
@@ -67,6 +68,9 @@ Link::send(const WireMessagePtr &msg, std::function<void()> on_transmit)
 {
     fp_assert(msg != nullptr, "null message on link ", name());
     fp_assert(msg->wireBytes() > 0, "zero-byte message on link ", name());
+    // Declare the serialization/credit state for the race detector:
+    // two same-tick senders contend on this link's FIFO order.
+    common::AccessRecorder(eventQueue()).write(this, name().c_str());
 
     if (_credit_limit != 0) {
         fp_assert(msg->wireBytes() <= _credit_limit,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "baselines/gps_model.hh"
+#include "check/digest.hh"
 #include "check/invariant.hh"
 #include "check/protocol_oracle.hh"
 #include "common/logging.hh"
@@ -159,6 +160,13 @@ SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
     icn::PcieProtocol protocol(_config.pcie_gen);
 
     SimSystem sys;
+    // Determinism-analysis hooks must attach before the first event is
+    // scheduled: the shuffle stamps tie-keys at schedule() time and the
+    // observer must see every executed event.
+    if (_config.tie_break_shuffle_seed != 0)
+        sys.queue.enableTieBreakShuffle(_config.tie_break_shuffle_seed);
+    if (_config.queue_observer)
+        sys.queue.setObserver(_config.queue_observer);
     // Stamp warn()/inform() messages with simulated time for the
     // duration of the run.
     common::ScopedTickContext tick_context(
@@ -192,6 +200,8 @@ SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
                     std::make_unique<check::ProtocolOracle>(
                         g, _config.finepack));
                 sys.egress.back()->attachOracle(sys.oracles.back().get());
+                sys.oracles.back()->setAccessRecorder(
+                    common::AccessRecorder(sys.queue));
             }
         }
     }
@@ -415,13 +425,19 @@ SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
 
     // Every buffered byte must have flushed and every flush must have
     // packetized by the end of the run (oracle end-of-run check).
+    // Per-source digests fold in GPU-id order (the oracles vector is
+    // built in that order), so the combined digest is well-defined.
+    check::Digest run_digest;
     for (const auto &oracle : sys.oracles) {
         oracle->verifyDrained();
         result.oracle_transactions += oracle->transactionsVerified();
         result.oracle_stores += oracle->storesRecorded();
         result.oracle_bytes += oracle->bytesVerified();
         result.oracle_value_bytes += oracle->valueBytesVerified();
+        run_digest.updateU64(oracle->digest());
     }
+    if (!sys.oracles.empty())
+        result.oracle_digest = run_digest.value();
 
     // ---- Traffic accounting (uplinks see each message once) -----------
     std::uint64_t fp_padding = 0; // raw/finepack non-data payload bytes

@@ -24,6 +24,10 @@
 #include "sim/paradigm.hh"
 #include "trace/trace.hh"
 
+namespace fp::common {
+class EventQueueObserver;
+} // namespace fp::common
+
 namespace fp::obs {
 class MetricsCapture;
 class PeriodicSampler;
@@ -77,6 +81,20 @@ struct SimConfig
      */
     obs::MetricsCapture *metrics = nullptr;
 
+    // ---- Determinism analysis hooks (see docs/determinism.md) ----------
+    /**
+     * Event-queue observer (e.g. check::RaceDetector): sees every
+     * executed event and the logical accesses components declare via
+     * common::AccessRecorder. Event-driven paradigms only.
+     */
+    common::EventQueueObserver *queue_observer = nullptr;
+    /**
+     * Permute same-(tick, priority) execution order with this seed
+     * (schedule-perturbation harness). 0 = insertion order, the
+     * default deterministic tie-break.
+     */
+    std::uint64_t tie_break_shuffle_seed = 0;
+
     SimConfig();
 };
 
@@ -125,6 +143,13 @@ struct RunResult
     std::uint64_t oracle_bytes = 0;
     /** Subset of oracle_bytes value-compared (data-carrying traces). */
     std::uint64_t oracle_value_bytes = 0;
+    /**
+     * Order-sensitive fingerprint of all verified transactions, folded
+     * over sources in GPU-id order. Bit-identical across runs of the
+     * same trace iff packetization is schedule-independent; the
+     * racecheck perturbation harness diffs it across shuffle seeds.
+     */
+    std::uint64_t oracle_digest = 0;
 
     double totalSeconds() const
     { return static_cast<double>(total_time) /

@@ -172,9 +172,12 @@ CtWorkload::runIteration(std::uint32_t it)
         // The reconstruction reads every updated voxel in the next
         // forward projection: all unique updates are consumed by all
         // peers.
+        std::vector<std::uint64_t> voxels(unique_voxels.begin(),
+                                          unique_voxels.end());
+        std::sort(voxels.begin(), voxels.end());
         std::vector<icn::AddrRange> ranges;
-        ranges.reserve(unique_voxels.size());
-        for (std::uint64_t voxel : unique_voxels)
+        ranges.reserve(voxels.size());
+        for (std::uint64_t voxel : voxels)
             ranges.push_back(icn::AddrRange{volume_base + voxel * 4, 4});
         for (GpuId dst = 0; dst < gpus; ++dst) {
             if (dst == g)

@@ -148,9 +148,7 @@ SsspWorkload::simulate()
 
         _recorded.push_back(std::move(iter));
         prev_iter = &_recorded.back();
-        prev_updated.clear();
-        for (std::uint64_t v : updated)
-            prev_updated.insert(v);
+        prev_updated = std::move(updated);
         frontier = std::move(next_frontier);
         std::sort(frontier.begin(), frontier.end());
     }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "common/event_queue.hh"
@@ -203,6 +205,171 @@ TEST(EventQueueTest, ManyLambdasGarbageCollected)
     queue.run();
     EXPECT_EQ(count, 20000u);
     EXPECT_EQ(queue.eventsProcessed(), 20000u);
+}
+
+TEST(EventQueueTest, RunCompletionReclaimsOwnedLambdas)
+{
+    // Regression: executed queue-owned lambdas must be reclaimed when
+    // run() completes, not only past the amortized GC threshold -
+    // otherwise a long replay (many run() cycles of a few hundred
+    // events each) grows _owned without bound.
+    EventQueue queue;
+    std::uint64_t count = 0;
+    for (int cycle = 0; cycle < 200; ++cycle) {
+        for (int i = 0; i < 100; ++i)
+            queue.scheduleIn([&count]() { ++count; },
+                             static_cast<Tick>(i + 1));
+        queue.run();
+        EXPECT_EQ(queue.ownedPending(), 0u)
+            << "ownership records leaked after cycle " << cycle;
+    }
+    EXPECT_EQ(count, 20000u);
+}
+
+TEST(EventQueueTest, RunWithLimitKeepsPendingOwnedLambdas)
+{
+    // The completion sweep must not reclaim lambdas that are still
+    // scheduled past the run limit.
+    EventQueue queue;
+    int count = 0;
+    queue.schedule([&]() { ++count; }, 10);
+    queue.schedule([&]() { ++count; }, 100);
+    queue.run(50);
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(queue.ownedPending(), 1u);
+    queue.run();
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(queue.ownedPending(), 0u);
+}
+
+TEST(EventQueueTest, CancelThenReschedulePrunesStaleEntry)
+{
+    // Cancel + reschedule leaves a stale heap entry at the old tick;
+    // it must be pruned (by sequence mismatch), not executed, and must
+    // not surface through nextEventTick().
+    EventQueue queue;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    queue.schedule(&a, 10);
+    a.cancel();
+    queue.reschedule(&a, 30);
+    EXPECT_EQ(queue.nextEventTick(), 30u);
+    queue.run();
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_EQ(queue.eventsProcessed(), 1u);
+}
+
+TEST(EventQueueTest, PriorityTieBreakAcrossAllLevels)
+{
+    // All five Priority levels at one tick, inserted in reverse, with
+    // two events per level: levels order by value, ties by insertion.
+    EventQueue queue;
+    std::vector<int> log;
+    std::vector<std::unique_ptr<RecordingEvent>> events;
+    const int priorities[] = {Event::prio_stat, Event::prio_sync,
+                              Event::prio_inject, Event::prio_default,
+                              Event::prio_arrival};
+    for (int round = 0; round < 2; ++round) {
+        for (int priority : priorities) {
+            events.push_back(std::make_unique<RecordingEvent>(
+                log, priority * 10 + round, priority));
+            queue.schedule(events.back().get(), 5);
+        }
+    }
+    queue.run();
+    EXPECT_EQ(log, (std::vector<int>{0, 1, 100, 101, 200, 201, 300, 301,
+                                     1000, 1001}));
+}
+
+TEST(EventQueueTest, NextEventTickAfterMassCancellation)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    std::vector<std::unique_ptr<RecordingEvent>> events;
+    for (int i = 0; i < 100; ++i) {
+        events.push_back(std::make_unique<RecordingEvent>(log, i));
+        queue.schedule(events.back().get(), 10 + i);
+    }
+    for (auto &event : events)
+        event->cancel();
+    EXPECT_EQ(queue.nextEventTick(), max_tick);
+    EXPECT_TRUE(queue.empty());
+    // A survivor behind the cancelled block is still found.
+    RecordingEvent last(log, 999);
+    queue.schedule(&last, 500);
+    EXPECT_EQ(queue.nextEventTick(), 500u);
+    queue.run();
+    EXPECT_EQ(log, (std::vector<int>{999}));
+    EXPECT_EQ(queue.eventsProcessed(), 1u);
+}
+
+TEST(EventQueueTest, TieBreakShuffleIsReproduciblePerSeed)
+{
+    auto run_once = [](std::uint64_t seed) {
+        EventQueue queue;
+        queue.enableTieBreakShuffle(seed);
+        std::vector<int> log;
+        std::vector<std::unique_ptr<RecordingEvent>> events;
+        for (int i = 0; i < 64; ++i) {
+            events.push_back(std::make_unique<RecordingEvent>(log, i));
+            queue.schedule(events.back().get(), 7);
+        }
+        queue.run();
+        return log;
+    };
+    EXPECT_EQ(run_once(1), run_once(1));
+    EXPECT_EQ(run_once(2), run_once(2));
+    // Different seeds permute 64 ties differently (equal permutations
+    // would need a 1-in-64! collision).
+    EXPECT_NE(run_once(1), run_once(2));
+    // And every seed yields some permutation of the same events.
+    auto sorted = run_once(3);
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<int> expected(64);
+    for (int i = 0; i < 64; ++i)
+        expected[i] = i;
+    EXPECT_EQ(sorted, expected);
+}
+
+TEST(EventQueueTest, TieBreakShufflePreservesTickAndPriorityOrder)
+{
+    EventQueue queue;
+    queue.enableTieBreakShuffle(99);
+    std::vector<int> log;
+    std::vector<std::unique_ptr<RecordingEvent>> events;
+    // ids encode (tick, priority) rank: shuffle may only permute
+    // within one (tick, priority) group, never across groups.
+    for (int tick = 1; tick <= 3; ++tick) {
+        for (int priority :
+             {Event::prio_arrival, Event::prio_inject}) {
+            for (int i = 0; i < 4; ++i) {
+                events.push_back(std::make_unique<RecordingEvent>(
+                    log, tick * 100 + priority, priority));
+                queue.schedule(events.back().get(),
+                               static_cast<Tick>(tick));
+            }
+        }
+    }
+    queue.run();
+    ASSERT_EQ(log.size(), 24u);
+    EXPECT_TRUE(std::is_sorted(log.begin(), log.end()));
+}
+
+TEST(EventQueueTest, TieBreakModeChangeRequiresEmptyQueue)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    queue.schedule(&a, 10);
+    EXPECT_THROW(queue.enableTieBreakShuffle(1), common::SimError);
+    queue.run();
+    queue.enableTieBreakShuffle(1);
+    RecordingEvent b(log, 2);
+    queue.schedule(&b, 20);
+    EXPECT_THROW(queue.disableTieBreakShuffle(), common::SimError);
+    queue.run();
+    queue.disableTieBreakShuffle();
+    EXPECT_FALSE(queue.tieBreakShuffleEnabled());
 }
 
 TEST(EventQueueTest, TieBreakIsDeterministicAcrossRuns)

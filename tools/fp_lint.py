@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Determinism lint for the FinePack simulator sources.
+
+The simulator's results must be a pure function of (trace, config,
+seed): CI diffs stats JSON and oracle digests across replays and
+shuffled event schedules (`fptrace racecheck`), so any hidden source of
+run-to-run variation in src/ is a bug. This lint bans the usual
+suspects lexically:
+
+  wall-clock           std::chrono clock reads, time()/clock()/
+                       gettimeofday/clock_gettime in simulation code.
+  unseeded-rng         rand()/srand() and std::random_device (the
+                       repo's common::Rng must be seeded explicitly).
+  unordered-iteration  range-for over a std::unordered_map/set
+                       declared in the same file. Iteration order is
+                       implementation-defined; iterating one into any
+                       ordered output (messages, traces, stats) is the
+                       classic silent nondeterminism. Sort the keys
+                       first, or waive when the consumer is
+                       order-insensitive.
+
+Waivers: append `// fp-lint: allow(<rule>) <reason>` to the offending
+line, or place it on the line directly above. Waivers without a reason
+are themselves errors.
+
+Usage: tools/fp_lint.py [--root DIR] [PATH...]
+Exits 1 when any unwaived finding remains.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+RULES = ("wall-clock", "unseeded-rng", "unordered-iteration")
+
+WALL_CLOCK = re.compile(
+    r"\b(system_clock|steady_clock|high_resolution_clock"
+    r"|gettimeofday|clock_gettime)\b"
+    r"|\btime\s*\(\s*(NULL|nullptr|0)\s*\)"
+    r"|\bclock\s*\(\s*\)"
+)
+UNSEEDED_RNG = re.compile(
+    r"\b(std::)?random_device\b|\bs?rand\s*\("
+)
+UNORDERED_DECL = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<"
+)
+# Identifier the declaration binds: the first plain identifier after
+# the closing template bracket(s), e.g. `std::unordered_map<K, V> name`
+# or `const std::unordered_set<T> &name`.
+DECL_NAME = re.compile(r">\s*[&*]?\s*([A-Za-z_]\w*)\s*(?:[;={(,)]|$)")
+RANGE_FOR = re.compile(r"\bfor\s*\(.*?:\s*([^)]+)\)")
+LAST_IDENT = re.compile(r"([A-Za-z_]\w*)\s*$")
+WAIVER = re.compile(r"//\s*fp-lint:\s*allow\(([a-z-]+)\)\s*(.*)")
+
+LINE_COMMENT = re.compile(r"//(?!\s*fp-lint:).*$")
+STRING = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_noise(line):
+    """Drop string literals and non-waiver comments before matching."""
+    line = STRING.sub('""', line)
+    return LINE_COMMENT.sub("", line)
+
+
+def unordered_names(lines):
+    """Identifiers declared with an unordered container type in-file."""
+    names = set()
+    for raw in lines:
+        line = strip_noise(raw)
+        m = UNORDERED_DECL.search(line)
+        if not m:
+            continue
+        # Walk to the matching '>' of the template argument list, then
+        # pull the declared name that follows.
+        depth, i = 0, m.end() - 1
+        while i < len(line):
+            if line[i] == "<":
+                depth += 1
+            elif line[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        name = DECL_NAME.search(line[i:])
+        if name:
+            names.add(name.group(1))
+    return names
+
+
+def waiver_for(lines, idx):
+    """The waiver (rule, reason) covering line idx, if any."""
+    for probe in (idx, idx - 1):
+        if probe < 0:
+            continue
+        m = WAIVER.search(lines[probe])
+        if m:
+            return m.group(1), m.group(2).strip()
+    return None
+
+
+def lint_file(path, findings):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        lines = f.read().splitlines()
+    containers = unordered_names(lines)
+
+    # Members iterated in a .cc are declared in the class header; fold
+    # the sibling header's declarations in so `for (x : _map)` is seen.
+    base, ext = os.path.splitext(path)
+    if ext in (".cc", ".cpp"):
+        for header_ext in (".hh", ".h", ".hpp"):
+            sibling = base + header_ext
+            if os.path.isfile(sibling):
+                with open(sibling, encoding="utf-8",
+                          errors="replace") as f:
+                    containers |= unordered_names(f.read().splitlines())
+
+    for idx, raw in enumerate(lines):
+        line = strip_noise(raw)
+        hits = []
+        if WALL_CLOCK.search(line):
+            hits.append(("wall-clock",
+                         "wall-clock time source in simulation code"))
+        if UNSEEDED_RNG.search(line):
+            hits.append(("unseeded-rng",
+                         "nondeterministically-seeded randomness "
+                         "(use common::Rng with an explicit seed)"))
+        m = RANGE_FOR.search(line)
+        if m:
+            ident = LAST_IDENT.search(m.group(1).strip())
+            if ident and ident.group(1) in containers:
+                hits.append(("unordered-iteration",
+                             f"range-for over unordered container "
+                             f"'{ident.group(1)}' "
+                             "(implementation-defined order)"))
+        if not hits:
+            continue
+        waiver = waiver_for(lines, idx)
+        for rule, message in hits:
+            if waiver and waiver[0] == rule:
+                if not waiver[1]:
+                    findings.append(Finding(
+                        path, idx + 1, rule,
+                        "waiver without a reason (state why the "
+                        "order/time dependence is safe)"))
+                continue
+            findings.append(Finding(path, idx + 1, rule, message))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: src/)")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: script's parent)")
+    args = parser.parse_args()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    targets = args.paths or [os.path.join(root, "src")]
+
+    files = []
+    for target in targets:
+        if os.path.isfile(target):
+            files.append(target)
+            continue
+        for dirpath, _, filenames in os.walk(target):
+            for name in sorted(filenames):
+                if name.endswith((".cc", ".hh", ".cpp", ".hpp", ".h")):
+                    files.append(os.path.join(dirpath, name))
+
+    findings = []
+    for path in sorted(files):
+        lint_file(path, findings)
+
+    for finding in findings:
+        print(finding)
+    print(f"fp_lint: {len(files)} files, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,15 @@
  *       --stats-json exports every registered stat group plus sampled
  *       time series; --trace-out writes a Chrome trace-event /
  *       Perfetto-compatible event trace of the pipeline.
+ *   racecheck <trace.fpt> [--paradigm P] [--pcie GEN] [--seeds N]
+ *             [--report FILE] [--waive GLOB] [--no-default-waivers]
+ *       Determinism analysis (docs/determinism.md). Statically: replay
+ *       under the same-tick race detector and report conflicting
+ *       accesses between events at the same (tick, priority).
+ *       Dynamically: re-run under N-1 shuffled tie-break seeds and
+ *       diff the protocol-oracle digest, the stats JSON, and the run
+ *       result against the insertion-order baseline. Exit 1 on any
+ *       unwaived conflict or digest mismatch.
  *   list
  *       List the available workloads.
  */
@@ -23,8 +32,13 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "check/digest.hh"
+#include "check/race_detector.hh"
+#include "common/json.hh"
 #include "common/table.hh"
 #include "obs/metrics.hh"
 #include "obs/sampler.hh"
@@ -50,6 +64,10 @@ usage()
            "                 [--stats-json FILE] [--trace-out FILE]\n"
            "                 [--trace-detail full|flush|off]"
            " [--sample-ns N]\n"
+           "  fptrace racecheck <trace.fpt> [--paradigm P]"
+           " [--pcie 3|4|5|6]\n"
+           "                 [--seeds N] [--report FILE] [--waive GLOB]\n"
+           "                 [--no-default-waivers]\n"
            "  fptrace list\n";
     return 2;
 }
@@ -266,6 +284,203 @@ cmdReplay(int argc, char **argv)
     return 0;
 }
 
+/** One racecheck run's comparable outcome. */
+struct SeedOutcome
+{
+    std::uint64_t seed = 0; ///< 0 = insertion-order baseline
+    std::uint64_t oracle_digest = 0;
+    std::uint64_t stats_digest = 0;
+    std::uint64_t result_digest = 0;
+    Tick total_time = 0;
+
+    bool
+    matches(const SeedOutcome &other) const
+    {
+        return oracle_digest == other.oracle_digest &&
+               stats_digest == other.stats_digest &&
+               result_digest == other.result_digest;
+    }
+};
+
+/**
+ * Replay @p trace once under one tie-break seed, with @p detector (may
+ * be null) observing the event queue, and fingerprint everything the
+ * run produced: the oracle digest, the full stats JSON document
+ * (StatGroups + sampled time series), and the RunResult fields.
+ */
+SeedOutcome
+racecheckRun(const trace::WorkloadTrace &trace, sim::Paradigm paradigm,
+             icn::PcieGen pcie, std::uint64_t seed,
+             check::RaceDetector *detector)
+{
+    sim::SimConfig config;
+    config.pcie_gen = pcie;
+    config.check = paradigm == sim::Paradigm::finepack;
+    config.tie_break_shuffle_seed = seed;
+    config.queue_observer = detector;
+
+    obs::PeriodicSampler sampler(1000 * ticks_per_ns);
+    obs::MetricsCapture metrics;
+    config.sampler = &sampler;
+    config.metrics = &metrics;
+
+    sim::SimulationDriver driver(config);
+    sim::RunResult result = driver.run(trace, paradigm);
+    if (detector)
+        detector->finish();
+
+    SeedOutcome outcome;
+    outcome.seed = seed;
+    outcome.total_time = result.total_time;
+    outcome.oracle_digest = result.oracle_digest;
+
+    check::Digest stats;
+    std::ostringstream doc;
+    metrics.writeDocument(doc, &sampler);
+    stats.update(doc.str());
+    outcome.stats_digest = stats.value();
+
+    check::Digest summary;
+    summary.updateU64(result.total_time);
+    summary.updateU64(result.wire_bytes);
+    summary.updateU64(result.payload_bytes);
+    summary.updateU64(result.header_bytes);
+    summary.updateU64(result.data_bytes);
+    summary.updateU64(result.messages);
+    summary.updateU64(result.useful_bytes);
+    summary.updateU64(result.protocol_bytes);
+    summary.updateU64(result.wasted_bytes);
+    summary.updateU64(result.finepack_packets);
+    summary.updateU64(result.oracle_transactions);
+    summary.updateU64(result.oracle_stores);
+    summary.updateU64(result.oracle_bytes);
+    outcome.result_digest = summary.value();
+    return outcome;
+}
+
+int
+cmdRacecheck(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    trace::WorkloadTrace trace = loadTrace(argv[2]);
+
+    std::string gen = argValue(argc, argv, "--pcie", "4");
+    icn::PcieGen pcie = gen == "3"   ? icn::PcieGen::gen3
+                        : gen == "5" ? icn::PcieGen::gen5
+                        : gen == "6" ? icn::PcieGen::gen6
+                                     : icn::PcieGen::gen4;
+    sim::Paradigm paradigm =
+        parseParadigm(argValue(argc, argv, "--paradigm", "finepack"));
+    int seeds = std::atoi(argValue(argc, argv, "--seeds", "4"));
+    if (seeds < 1)
+        seeds = 1;
+    const char *report_path = argValue(argc, argv, "--report", "");
+
+    check::RaceDetector detector;
+    if (!hasFlag(argc, argv, "--no-default-waivers")) {
+        // The switch's downlink FIFO arbitrates same-tick arrivals from
+        // independent uplinks. The winner only shifts serialization
+        // order within one tick; every aggregate outcome is
+        // order-insensitive, which the perturbation pass verifies
+        // dynamically on every racecheck run.
+        detector.waive("fabric.down*");
+    }
+    for (int i = 2; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--waive") == 0)
+            detector.waive(argv[i + 1]);
+
+    // Every run (baseline and shuffled) executes under the detector, so
+    // a conflict only reachable in a permuted order is still caught.
+    std::vector<SeedOutcome> outcomes;
+    for (int s = 0; s < seeds; ++s) {
+        outcomes.push_back(racecheckRun(
+            trace, paradigm, pcie, static_cast<std::uint64_t>(s),
+            &detector));
+    }
+
+    bool schedule_independent = true;
+    for (const SeedOutcome &outcome : outcomes)
+        if (!outcome.matches(outcomes.front()))
+            schedule_independent = false;
+
+    const auto &conflicts = detector.conflicts();
+    bool clean = conflicts.empty() && detector.droppedConflicts() == 0;
+
+    std::cout << "racecheck:  " << trace.workload << " under "
+              << toString(paradigm) << ", " << seeds << " seed(s)\n"
+              << "events:     " << detector.eventsObserved()
+              << " observed, " << detector.accessesRecorded()
+              << " accesses, " << detector.contendedBatches()
+              << " contended same-(tick, priority) groups\n"
+              << "conflicts:  " << conflicts.size() << " unwaived ("
+              << detector.waivedConflicts() << " waived, "
+              << detector.droppedConflicts() << " dropped)\n";
+    for (const auto &conflict : conflicts) {
+        std::cout << "  [" << conflict.kind() << "] tick "
+                  << conflict.tick << " prio " << conflict.priority
+                  << " on " << conflict.label << ": '"
+                  << conflict.first_event << "' (seq "
+                  << conflict.first_sequence << ") vs '"
+                  << conflict.second_event << "' (seq "
+                  << conflict.second_sequence << ")\n";
+    }
+    std::cout << "perturb:    ";
+    if (seeds < 2) {
+        std::cout << "skipped (need --seeds >= 2)\n";
+    } else if (schedule_independent) {
+        std::cout << "all " << seeds
+                  << " seeds bit-identical (oracle digest "
+                  << outcomes.front().oracle_digest << ", stats digest "
+                  << outcomes.front().stats_digest << ")\n";
+    } else {
+        std::cout << "DIGEST MISMATCH - outcomes depend on same-tick "
+                     "scheduling order:\n";
+        for (const SeedOutcome &outcome : outcomes) {
+            std::cout << "  seed " << outcome.seed << ": oracle "
+                      << outcome.oracle_digest << ", stats "
+                      << outcome.stats_digest << ", result "
+                      << outcome.result_digest << ", time "
+                      << outcome.total_time << "\n";
+        }
+    }
+
+    if (*report_path != '\0') {
+        std::ofstream out(report_path);
+        if (!out)
+            fp_fatal("cannot open ", report_path, " for writing");
+        // The detector serializes itself as one JSON object; compose
+        // the surrounding report by hand around it.
+        out << "{\n\"trace\": "
+            << common::JsonWriter::quoted(argv[2]) << ",\n\"workload\": "
+            << common::JsonWriter::quoted(trace.workload)
+            << ",\n\"paradigm\": "
+            << common::JsonWriter::quoted(toString(paradigm))
+            << ",\n\"seeds\": [";
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            const SeedOutcome &outcome = outcomes[i];
+            out << (i ? "," : "") << "\n  {\"seed\": " << outcome.seed
+                << ", \"oracle_digest\": " << outcome.oracle_digest
+                << ", \"stats_digest\": " << outcome.stats_digest
+                << ", \"result_digest\": " << outcome.result_digest
+                << ", \"total_time\": " << outcome.total_time << "}";
+        }
+        out << "\n],\n\"schedule_independent\": "
+            << (schedule_independent ? "true" : "false")
+            << ",\n\"detector\": ";
+        detector.writeReport(out);
+        out << "\n}\n";
+        std::cout << "report:     " << report_path << "\n";
+    }
+
+    if (!clean || !schedule_independent) {
+        std::cout << "racecheck: FAIL\n";
+        return 1;
+    }
+    std::cout << "racecheck: OK\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -280,6 +495,8 @@ main(int argc, char **argv)
         return cmdInfo(argc, argv);
     if (command == "replay")
         return cmdReplay(argc, argv);
+    if (command == "racecheck")
+        return cmdRacecheck(argc, argv);
     if (command == "list") {
         for (const auto &name : fp::workloads::allWorkloadNames())
             std::cout << name << "\n";

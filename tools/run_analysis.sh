@@ -2,14 +2,17 @@
 #
 # run_analysis.sh - the correctness-tooling gauntlet.
 #
-# Builds the simulator under AddressSanitizer and UndefinedBehaviorSanitizer
-# (with FP_CHECK invariants and -Werror enabled), runs the tier-1 test
-# suite under each, and finishes with a clang-tidy sweep over src/.
+# Runs the determinism source lint (tools/fp_lint.py), builds the
+# simulator under AddressSanitizer and UndefinedBehaviorSanitizer (with
+# FP_CHECK invariants and -Werror enabled), runs the tier-1 test suite
+# under each, replays example traces through `fptrace racecheck`
+# (same-tick race detection + schedule-perturbation digest diff, see
+# docs/determinism.md), and finishes with a clang-tidy sweep over src/.
 # Any failure fails the script.
 #
 # Usage:
 #   tools/run_analysis.sh              # full gauntlet
-#   tools/run_analysis.sh --fast       # ASan only, skip UBSan and tidy
+#   tools/run_analysis.sh --fast       # lint + ASan only
 #   FP_ANALYSIS_JOBS=4 tools/run_analysis.sh
 #
 # clang-tidy is optional: when the binary is absent the lint stage is
@@ -42,13 +45,32 @@ run_sanitizer_stage() {
               --output-on-failure
 }
 
+bold "determinism lint (tools/fp_lint.py)"
+python3 tools/fp_lint.py --root "${repo_root}"
+
 run_sanitizer_stage asan
 if [[ "${fast}" -eq 0 ]]; then
     run_sanitizer_stage ubsan
+
+    # Racecheck under the ASan binary: the detector watches every run
+    # and the perturbed schedules double as sanitizer coverage of the
+    # tie-break machinery. Small scales keep the 4x replay cheap.
+    bold "schedule racecheck on example traces (ASan build)"
+    fptrace="build-asan/tools/fptrace"
+    racecheck_dir="$(mktemp -d)"
+    trap 'rm -rf "${racecheck_dir}"' EXIT
+    for workload in jacobi sssp; do
+        "${fptrace}" generate "${workload}" \
+            "${racecheck_dir}/${workload}.fpt" --scale 0.05
+        for paradigm in finepack write-combine; do
+            "${fptrace}" racecheck "${racecheck_dir}/${workload}.fpt" \
+                --paradigm "${paradigm}" --seeds 4
+        done
+    done
 fi
 
 if [[ "${fast}" -eq 1 ]]; then
-    bold "fast mode: skipping clang-tidy"
+    bold "fast mode: skipping racecheck and clang-tidy"
     exit 0
 fi
 
