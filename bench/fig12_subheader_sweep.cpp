@@ -10,12 +10,13 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace fp;
     using namespace fp::bench;
 
     double scale = benchScale(0.5);
+    JsonReporter reporter("fig12_subheader_sweep", argc, argv, scale);
     const std::vector<std::uint32_t> sweep = {2, 3, 4, 5, 6};
 
     common::Table table(
@@ -35,6 +36,9 @@ main()
             double speedup = driver.speedupOverSingleGpu(
                 trace, sim::Paradigm::finepack);
             per_config[bytes].push_back(speedup);
+            reporter.add("speedup." + app + "." + std::to_string(bytes)
+                             + "B",
+                         speedup);
             row.push_back(common::Table::num(speedup, 2));
         }
         table.addRow(std::move(row));
@@ -49,10 +53,15 @@ main()
     double at4 = geomean(per_config[4]);
     std::cout << "\nGeomean normalized to the 4-byte sub-header"
                  " (paper: performance peaks at 4-5 bytes):\n";
-    for (std::uint32_t bytes : sweep)
+    for (std::uint32_t bytes : sweep) {
         std::cout << "  " << bytes << "B: "
                   << common::Table::num(
                          geomean(per_config[bytes]) / at4, 3)
                   << "\n";
-    return 0;
+        reporter.add("geomean." + std::to_string(bytes) + "B",
+                     geomean(per_config[bytes]));
+        reporter.add("normalized." + std::to_string(bytes) + "B",
+                     geomean(per_config[bytes]) / at4);
+    }
+    return reporter.write() ? 0 : 1;
 }

@@ -10,13 +10,33 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace fp;
     using namespace fp::bench;
     using sim::Paradigm;
 
     double scale = benchScale(0.5);
+    JsonReporter reporter("fig13_bandwidth_sweep", argc, argv, scale);
+
+    auto genLabel = [](icn::PcieGen gen) {
+        switch (gen) {
+          case icn::PcieGen::gen3: return "pcie3";
+          case icn::PcieGen::gen4: return "pcie4";
+          case icn::PcieGen::gen5: return "pcie5";
+          case icn::PcieGen::gen6: return "pcie6";
+        }
+        return "pcie?";
+    };
+    auto paradigmLabel = [](Paradigm p) {
+        switch (p) {
+          case Paradigm::p2p_stores: return "p2p_stores";
+          case Paradigm::bulk_dma: return "bulk_dma";
+          case Paradigm::finepack: return "finepack";
+          case Paradigm::infinite_bw: return "infinite_bw";
+          default: return "other";
+        }
+    };
 
     const std::vector<icn::PcieGen> gens = {
         icn::PcieGen::gen4, icn::PcieGen::gen5, icn::PcieGen::gen6};
@@ -45,6 +65,9 @@ main()
         std::vector<std::string> row{toString(gen)};
         for (Paradigm p : paradigms) {
             geo[gen][p] = geomean(per_app[p]);
+            reporter.add(std::string("geomean.") + genLabel(gen) + "."
+                             + paradigmLabel(p),
+                         geo[gen][p]);
             row.push_back(common::Table::num(geo[gen][p], 2));
         }
         table.addRow(std::move(row));
@@ -64,5 +87,5 @@ main()
                   << ": FinePack ahead of both baselines: "
                   << (fp_wins ? "yes" : "NO") << "\n";
     }
-    return 0;
+    return reporter.write() ? 0 : 1;
 }

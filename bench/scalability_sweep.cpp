@@ -10,13 +10,14 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace fp;
     using namespace fp::bench;
     using sim::Paradigm;
 
     double scale = benchScale(0.5);
+    JsonReporter reporter("scalability_sweep", argc, argv, scale);
     sim::SimulationDriver driver;
 
     const std::vector<std::uint32_t> gpu_counts = {2, 4, 8, 16};
@@ -40,6 +41,16 @@ main()
         }
         double fp_geo = geomean(per_app[Paradigm::finepack]);
         double inf_geo = geomean(per_app[Paradigm::infinite_bw]);
+        std::string prefix = "geomean." + std::to_string(gpus) + "gpu.";
+        reporter.add(prefix + "p2p_stores",
+                     geomean(per_app[Paradigm::p2p_stores]));
+        reporter.add(prefix + "bulk_dma",
+                     geomean(per_app[Paradigm::bulk_dma]));
+        reporter.add(prefix + "finepack", fp_geo);
+        reporter.add(prefix + "infinite_bw", inf_geo);
+        reporter.add("fp_pct_of_opportunity." + std::to_string(gpus)
+                         + "gpu",
+                     100.0 * fp_geo / inf_geo);
         table.addRow(
             {std::to_string(gpus),
              common::Table::num(geomean(per_app[Paradigm::p2p_stores]),
@@ -56,5 +67,5 @@ main()
                  " GPU count (communication grows super-linearly under"
                  " strong scaling,\nSection I), while FinePack tracks"
                  " the infinite-bandwidth bound.\n";
-    return 0;
+    return reporter.write() ? 0 : 1;
 }

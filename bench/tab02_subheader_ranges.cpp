@@ -6,14 +6,19 @@
 
 #include <iostream>
 
+#include "bench_common.hh"
 #include "common/table.hh"
 #include "finepack/config.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace fp;
     using namespace fp::finepack;
+
+    // Analytic table: scale-independent, so the reported scale is 1.
+    bench::JsonReporter reporter("tab02_subheader_ranges", argc, argv,
+                                 1.0);
 
     common::Table table(
         "Table II: sub-transaction header size trade-off");
@@ -32,6 +37,11 @@ main()
 
     for (std::uint32_t bytes = 2; bytes <= 6; ++bytes) {
         FinePackConfig config = configWithSubheader(bytes);
+        std::string prefix = std::to_string(bytes) + "B.";
+        reporter.add(prefix + "length_bits", config.length_bits);
+        reporter.add(prefix + "address_bits", config.offsetBits());
+        reporter.add(prefix + "range_bytes",
+                     static_cast<double>(config.addressableRange()));
         table.addRow({std::to_string(bytes),
                       std::to_string(config.length_bits),
                       std::to_string(config.offsetBits()),
@@ -41,5 +51,5 @@ main()
 
     std::cout << "\nMatches paper Table II: 2B->64B, 3B->16KB, "
                  "4B->4MB, 5B->1GB, 6B->256GB.\n";
-    return 0;
+    return reporter.write() ? 0 : 1;
 }

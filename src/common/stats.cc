@@ -72,6 +72,13 @@ Histogram::sample(double v, std::uint64_t weight)
     auto it = std::upper_bound(_edges.begin(), _edges.end(), v);
     if (it != _edges.begin())
         idx = static_cast<std::size_t>(it - _edges.begin()) - 1;
+    if (_total == 0) {
+        _min = v;
+        _max = v;
+    } else {
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
     _counts[idx] += weight;
     _total += weight;
 }
@@ -81,6 +88,37 @@ Histogram::reset()
 {
     std::fill(_counts.begin(), _counts.end(), 0);
     _total = 0;
+    _min = _max = 0.0;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (_total == 0)
+        return 0.0;
+    p = std::min(std::max(p, 0.0), 1.0);
+    double target = p * static_cast<double>(_total);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < _counts.size(); ++i) {
+        if (_counts[i] == 0)
+            continue;
+        double next = static_cast<double>(cum + _counts[i]);
+        if (next >= target) {
+            // Interpolate within bucket i, bounded by the observed
+            // sample range (the last bucket has no upper edge).
+            double lo = std::max(_edges[i], _min);
+            double hi = i + 1 < _edges.size()
+                ? std::min(_edges[i + 1], _max) : _max;
+            if (hi < lo)
+                hi = lo;
+            double frac = (target - static_cast<double>(cum))
+                / static_cast<double>(_counts[i]);
+            double v = lo + frac * (hi - lo);
+            return std::min(std::max(v, _min), _max);
+        }
+        cum += _counts[i];
+    }
+    return _max;
 }
 
 void
@@ -257,6 +295,12 @@ StatGroup::dumpJson(JsonWriter &json) const
         for (std::uint64_t c : hist->counts())
             json.value(c);
         json.endArray();
+        json.kv("min", hist->min());
+        json.kv("max", hist->max());
+        json.kv("p50", hist->percentile(0.50));
+        json.kv("p90", hist->percentile(0.90));
+        json.kv("p95", hist->percentile(0.95));
+        json.kv("p99", hist->percentile(0.99));
         if (!named.desc.empty())
             json.kv("desc", named.desc);
         json.endObject();

@@ -112,6 +112,7 @@ class Histogram
         _edges = std::move(edges);
         _counts.assign(_edges.size(), 0);
         _total = 0;
+        _min = _max = 0.0;
     }
 
     void sample(double v, std::uint64_t weight = 1);
@@ -120,6 +121,16 @@ class Histogram
     std::uint64_t total() const { return _total; }
     const std::vector<double> &edges() const { return _edges; }
     const std::vector<std::uint64_t> &counts() const { return _counts; }
+    double min() const { return _min; }
+    double max() const { return _max; }
+
+    /**
+     * Approximate quantile @p p in [0, 1], linearly interpolated within
+     * the containing bucket and clamped to the observed [min, max]
+     * (exact at the extremes; the unbounded last bucket interpolates
+     * toward the observed max). Returns 0 for an empty histogram.
+     */
+    double percentile(double p) const;
 
     /** Fraction of samples landing in bucket @p i. */
     double
@@ -133,6 +144,8 @@ class Histogram
     std::vector<double> _edges;
     std::vector<std::uint64_t> _counts;
     std::uint64_t _total = 0;
+    double _min = 0.0;
+    double _max = 0.0;
 };
 
 class JsonWriter;

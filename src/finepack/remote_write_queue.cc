@@ -193,6 +193,8 @@ RwqWindow::insert(const icn::Store &store)
         _lookup[line] = _entries.size();
         _entries.push_back(std::move(entry));
     }
+    if (store.issue_tick != max_tick)
+        _stamps.push_back({store.issue_tick, store.size});
     ++_buffered_stores;
 
     FP_INVARIANT(payload_accounted(), "rwq-payload-accounting",
@@ -248,6 +250,7 @@ RwqWindow::take(GpuId dst)
             : (_base_register << _config.offsetBits());
     result.entries = std::move(_entries);
     result.packed_store_count = _buffered_stores;
+    result.store_stamps = std::move(_stamps);
 
     // Sort entries by address so the packetized sub-packets appear in
     // ascending offset order (deterministic output).
@@ -258,6 +261,7 @@ RwqWindow::take(GpuId dst)
 
     _entries.clear();
     _lookup.clear();
+    _stamps.clear();
     _base_register = invalid_addr;
     _available_payload = _config.max_payload;
     _buffered_stores = 0;
@@ -400,6 +404,7 @@ RwqPartition::captureWindow(RwqWindow &window, FlushReason reason,
                  ")");
     recordFlush(reason);
     sink.push_back(window.take(_dst));
+    sink.back().reason = reason;
     if (_observer)
         _observer->windowFlushed(sink.back(), reason);
     if (_trace_observer)

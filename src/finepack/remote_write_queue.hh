@@ -30,6 +30,7 @@
 #include "common/types.hh"
 #include "finepack/config.hh"
 #include "interconnect/store.hh"
+#include "obs/latency.hh"
 
 namespace fp::finepack {
 
@@ -59,19 +60,6 @@ struct QueueEntry
     { return static_cast<std::uint32_t>(mask.count()); }
 };
 
-/** The contents of one flushed window, ready to packetize. */
-struct FlushedPartition
-{
-    GpuId dst = invalid_gpu;
-    /** Base address register value (already shifted left). */
-    Addr window_base = 0;
-    std::vector<QueueEntry> entries;
-    /** Program stores that were folded into these entries. */
-    std::uint64_t packed_store_count = 0;
-
-    bool empty() const { return entries.empty(); }
-};
-
 /** Why a window was flushed (for statistics / Figure analysis). */
 enum class FlushReason : std::uint8_t {
     window_violation,   ///< incoming store outside every open window
@@ -83,6 +71,26 @@ enum class FlushReason : std::uint8_t {
 };
 
 const char *toString(FlushReason reason);
+
+/** The contents of one flushed window, ready to packetize. */
+struct FlushedPartition
+{
+    GpuId dst = invalid_gpu;
+    /** Base address register value (already shifted left). */
+    Addr window_base = 0;
+    std::vector<QueueEntry> entries;
+    /** Program stores that were folded into these entries. */
+    std::uint64_t packed_store_count = 0;
+    /** Why the window flushed (set by RwqPartition::captureWindow). */
+    FlushReason reason = FlushReason::release;
+    /**
+     * Issue stamps of the folded stores, in buffering order (latency
+     * attribution only; empty when stores carry no issue_tick).
+     */
+    std::vector<obs::StoreStamp> store_stamps;
+
+    bool empty() const { return entries.empty(); }
+};
 
 /**
  * Causal-order observer of remote-write-queue state changes, used by
@@ -192,6 +200,8 @@ class RwqWindow
     std::vector<QueueEntry> _entries;
     /** Associative lookup: line address -> index into _entries. */
     std::unordered_map<Addr, std::size_t> _lookup;
+    /** Issue stamps of buffered stores (latency attribution only). */
+    std::vector<obs::StoreStamp> _stamps;
 
     std::uint64_t _queue_hits = 0;
     std::uint64_t _bytes_elided = 0;

@@ -188,6 +188,8 @@ EgressPort::issueStore(const icn::Store &store)
         icn::Store piece = store;
         piece.addr = begin;
         piece.size = static_cast<std::uint32_t>(piece_end - begin);
+        if (_latency)
+            piece.issue_tick = curTick();
         if (!store.data.empty()) {
             auto off = static_cast<std::size_t>(begin - store.begin());
             piece.data.assign(store.data.begin() + off,
@@ -240,6 +242,8 @@ EgressPort::issueStores(const std::vector<icn::Store> &stores,
             msg->data_bytes += store.size;
             ++msg->packed_store_count;
             msg->stores.push_back(store);
+            if (_latency)
+                msg->store_stamps.push_back({curTick(), store.size});
         }
         if (msg->stores.empty())
             continue;
@@ -377,6 +381,8 @@ EgressPort::sendRaw(const icn::Store &store, icn::MessageKind kind)
     msg->data_bytes = store.size;
     msg->packed_store_count = 1;
     msg->stores.push_back(store);
+    if (_latency)
+        msg->store_stamps.push_back({curTick(), store.size});
 
     ++_messages_sent;
     _stores_folded += 1.0;

@@ -22,6 +22,7 @@
 #include "finepack/remote_write_queue.hh"
 #include "finepack/write_combine.hh"
 #include "interconnect/topology.hh"
+#include "obs/latency.hh"
 #include "obs/trace_event.hh"
 
 namespace fp::check { class ProtocolOracle; }
@@ -101,6 +102,15 @@ class EgressPort : public common::SimObject
      */
     void setTracer(obs::TraceSink *tracer);
 
+    /**
+     * Enable latency attribution (nullptr disables): stores get their
+     * issue tick stamped so the ingress side can attribute coalescing
+     * residency and end-to-end latency. The egress port never samples
+     * into the collector itself; off costs one branch per store.
+     */
+    void setLatencyCollector(obs::LatencyCollector *latency)
+    { _latency = latency; }
+
     EgressMode mode() const { return _mode; }
     GpuId self() const { return _self; }
 
@@ -140,6 +150,7 @@ class EgressPort : public common::SimObject
     std::unique_ptr<finepack::Packetizer> _packetizer;
     check::ProtocolOracle *_oracle = nullptr;
     obs::TraceSink *_tracer = nullptr;
+    obs::LatencyCollector *_latency = nullptr;
     /** Trace adapters (finepack mode, tracer attached). */
     std::unique_ptr<finepack::RwqObserver> _rwq_trace;
     std::unique_ptr<finepack::PacketizerObserver> _packet_trace;

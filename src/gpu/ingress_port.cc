@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "check/invariant.hh"
 #include "common/logging.hh"
 
 namespace fp::gpu {
@@ -45,6 +46,18 @@ IngressPort::receive(const icn::WireMessagePtr &msg)
     Tick start = std::max(curTick(), _busy_until);
     _busy_until = start + drain_ticks;
 
+    if (_latency) {
+        FP_INVARIANT(msg->timing.created != obs::no_stamp &&
+                         msg->timing.created <= curTick(),
+                     "latency-milestone-order",
+                     "message arrived without a monotonic creation "
+                     "stamp (created=", msg->timing.created,
+                     " now=", curTick(), ")");
+        _latency->record(_self, msg->timing, curTick(), _busy_until,
+                         msg->store_stamps.data(),
+                         msg->store_stamps.size());
+    }
+
     if (_tracer && _tracer->full()) {
         _tracer->complete(obs::tracePidGpu(_self), obs::lane_ingress,
                           "drain", "ingress", start, drain_ticks,
@@ -53,6 +66,10 @@ IngressPort::receive(const icn::WireMessagePtr &msg)
                           {"stores",
                            static_cast<double>(msg->stores.size())},
                           {"src", static_cast<double>(msg->src)});
+        if (msg->timing.flow_id != 0) {
+            _tracer->flowEnd(obs::tracePidGpu(_self), obs::lane_ingress,
+                             "msg", "flow", start, msg->timing.flow_id);
+        }
     }
 
     // Always schedule the drain-completion event so that running the

@@ -16,6 +16,7 @@
 #include "gpu/functional_memory.hh"
 #include "gpu/gpu_config.hh"
 #include "interconnect/message.hh"
+#include "obs/latency.hh"
 #include "obs/trace_event.hh"
 
 namespace fp::gpu {
@@ -48,6 +49,14 @@ class IngressPort : public common::SimObject
      */
     void setTracer(obs::TraceSink *tracer) { _tracer = tracer; }
 
+    /**
+     * Attach a latency collector (nullptr detaches): every drained
+     * message records its stage latencies (commit = end of the HBM
+     * drain). Off costs one branch per message.
+     */
+    void setLatencyCollector(obs::LatencyCollector *latency)
+    { _latency = latency; }
+
     /** Tick when the ingress path finishes draining everything queued. */
     Tick drainedAt() const { return _busy_until; }
 
@@ -64,6 +73,7 @@ class IngressPort : public common::SimObject
     FunctionalMemory *_memory = nullptr;
     DeliveredFn _delivered_cb;
     obs::TraceSink *_tracer = nullptr;
+    obs::LatencyCollector *_latency = nullptr;
     Tick _busy_until = 0;
 
     common::Scalar _messages;

@@ -98,6 +98,13 @@ Link::transmit(const WireMessagePtr &msg,
     tx_ticks = std::max<Tick>(tx_ticks, 1);
     _busy_until = start + tx_ticks;
 
+    // First hop (source uplink) stamps the serialization milestones.
+    bool first_hop = msg->timing.tx_start == obs::no_stamp;
+    if (first_hop) {
+        msg->timing.tx_start = start;
+        msg->timing.tx_end = _busy_until;
+    }
+
     _payload_bytes += static_cast<double>(msg->payload_bytes);
     _header_bytes += static_cast<double>(msg->header_bytes);
     _data_bytes += static_cast<double>(msg->data_bytes);
@@ -116,6 +123,14 @@ Link::transmit(const WireMessagePtr &msg,
             {"wire_bytes", static_cast<double>(msg->wireBytes())},
             {"data_bytes", static_cast<double>(msg->data_bytes)},
             {"stores", static_cast<double>(msg->packed_store_count)});
+        if (msg->timing.flow_id != 0) {
+            if (first_hop)
+                _tracer->flowStart(_trace_pid, _trace_tid, "msg", "flow",
+                                   start, msg->timing.flow_id);
+            else
+                _tracer->flowStep(_trace_pid, _trace_tid, "msg", "flow",
+                                  start, msg->timing.flow_id);
+        }
     }
 
     if (on_transmit)

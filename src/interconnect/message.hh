@@ -16,6 +16,7 @@
 
 #include "common/types.hh"
 #include "interconnect/store.hh"
+#include "obs/latency.hh"
 
 namespace fp::icn {
 
@@ -67,6 +68,15 @@ struct WireMessage
 
     /** Number of original program stores folded into this message. */
     std::uint64_t packed_store_count = 0;
+
+    /** Lifecycle milestones for latency attribution (obs/latency.hh). */
+    obs::MsgTimestamps timing;
+    /**
+     * Per-store issue stamps (latency attribution only; empty when no
+     * collector is attached). Parallel to the original program stores,
+     * not to `stores` (packetization reconstructs those).
+     */
+    std::vector<obs::StoreStamp> store_stamps;
 
     std::uint64_t wireBytes() const { return payload_bytes + header_bytes; }
 };

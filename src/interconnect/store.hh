@@ -38,6 +38,12 @@ struct Store
     std::vector<std::uint8_t> data;
     /** Remote atomics bypass coalescing and flush aliasing queue entries. */
     bool is_atomic = false;
+    /**
+     * Simulated tick this store issued at the egress port; max_tick
+     * (obs::no_stamp) when latency attribution is off. Not part of the
+     * wire format: trace (de)serialization ignores it.
+     */
+    Tick issue_tick = max_tick;
 
     Store() = default;
 

@@ -57,6 +57,9 @@ SwitchedFabric::inject(const WireMessagePtr &msg)
     fp_assert(msg->src < _num_gpus, "bad source GPU ", msg->src);
     fp_assert(msg->dst < _num_gpus, "bad destination GPU ", msg->dst);
     fp_assert(msg->src != msg->dst, "message to self on GPU ", msg->src);
+    msg->timing.created = curTick();
+    if (_tracer && _tracer->full())
+        msg->timing.flow_id = ++_next_flow_id;
     _uplinks[msg->src]->send(msg);
 }
 
@@ -129,6 +132,7 @@ SwitchedFabric::totalInjectedWireBytes() const
 void
 SwitchedFabric::setTracer(obs::TraceSink *tracer)
 {
+    _tracer = tracer;
     for (std::uint32_t g = 0; g < _num_gpus; ++g) {
         _uplinks[g]->setTracer(tracer, obs::tracePidGpu(g),
                                obs::lane_uplink);

@@ -102,6 +102,9 @@ class SwitchedFabric : public common::SimObject
     std::vector<std::unique_ptr<Link>> _uplinks;
     std::vector<std::unique_ptr<Link>> _downlinks;
     std::vector<IngressFn> _ingress;
+    obs::TraceSink *_tracer = nullptr;
+    /** Deterministic flow-event chain ids (full trace detail only). */
+    std::uint64_t _next_flow_id = 0;
 };
 
 } // namespace fp::icn

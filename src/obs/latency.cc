@@ -1,0 +1,197 @@
+#include "obs/latency.hh"
+
+#include "common/logging.hh"
+
+namespace fp::obs {
+
+const char *
+flushReasonName(std::uint8_t reason)
+{
+    switch (reason) {
+      case 0: return "window-violation";
+      case 1: return "payload-full";
+      case 2: return "entries-full";
+      case 3: return "release";
+      case 4: return "load-conflict";
+      case 5: return "atomic-conflict";
+      default: return "none";
+    }
+}
+
+std::size_t
+latencySizeClass(std::uint32_t size)
+{
+    if (size <= 4)
+        return 0;
+    if (size <= 8)
+        return 1;
+    if (size <= 16)
+        return 2;
+    if (size <= 32)
+        return 3;
+    if (size <= 64)
+        return 4;
+    return 5;
+}
+
+const char *
+latencySizeClassName(std::size_t i)
+{
+    static const char *names[latency_size_class_count] = {
+        "le4", "le8", "le16", "le32", "le64", "le128",
+    };
+    fp_assert(i < latency_size_class_count, "bad latency size class");
+    return names[i];
+}
+
+LatencyCollector::LatencyCollector()
+{
+    // Power-of-two edges from 4 ns to 2^36 ps (~69 ms), plus a zero
+    // bucket for same-tick stages. Percentile interpolation clamps to
+    // the observed min/max, so coarse upper buckets stay accurate.
+    _edges.push_back(0.0);
+    for (int k = 12; k <= 36; ++k)
+        _edges.push_back(static_cast<double>(Tick{1} << k));
+    beginRun(0);
+}
+
+void
+LatencyCollector::initHistogram(common::Histogram &hist)
+{
+    hist.init(_edges);
+}
+
+void
+LatencyCollector::beginRun(std::uint32_t num_gpus)
+{
+    _dst.clear();
+    _group.reset();
+    _messages.reset();
+    _stores.reset();
+    _violations.reset();
+
+    initHistogram(_residency);
+    initHistogram(_serialization);
+    initHistogram(_propagation);
+    initHistogram(_ingress_wait);
+    initHistogram(_total);
+    _residency_by_reason.assign(flush_reason_count, common::Histogram{});
+    for (auto &hist : _residency_by_reason)
+        initHistogram(hist);
+    _total_by_size.assign(latency_size_class_count, common::Histogram{});
+    for (auto &hist : _total_by_size)
+        initHistogram(hist);
+
+    _group = std::make_unique<common::StatGroup>("latency");
+    _group->registerScalar("messages", &_messages,
+                           "wire messages with a full milestone trail");
+    _group->registerScalar("stores", &_stores,
+                           "remote stores with per-store issue stamps");
+    _group->registerScalar("milestone_violations", &_violations,
+                           "messages dropped: missing or non-monotonic "
+                           "milestones");
+    _group->registerHistogram("residency_ticks", &_residency,
+                              "RWQ coalescing residency per store "
+                              "(fabric inject - issue)");
+    _group->registerHistogram("serialization_ticks", &_serialization,
+                              "source queueing + first-link TX "
+                              "(tx end - inject)");
+    _group->registerHistogram("propagation_ticks", &_propagation,
+                              "switch + downlink flight "
+                              "(ingress arrival - tx end)");
+    _group->registerHistogram("ingress_wait_ticks", &_ingress_wait,
+                              "ingress HBM drain queueing "
+                              "(commit - arrival)");
+    _group->registerHistogram("total_ticks", &_total,
+                              "store end-to-end latency "
+                              "(commit - issue)");
+    for (std::size_t r = 0; r < flush_reason_count; ++r) {
+        _group->registerHistogram(
+            std::string("residency_ticks.")
+                + flushReasonName(static_cast<std::uint8_t>(r)),
+            &_residency_by_reason[r],
+            "coalescing residency for this flush trigger");
+    }
+    for (std::size_t s = 0; s < latency_size_class_count; ++s) {
+        _group->registerHistogram(
+            std::string("total_ticks.") + latencySizeClassName(s),
+            &_total_by_size[s],
+            "store end-to-end latency for this size class");
+    }
+
+    _dst.resize(num_gpus);
+    for (std::uint32_t g = 0; g < num_gpus; ++g) {
+        auto &dst = _dst[g];
+        initHistogram(dst.residency);
+        initHistogram(dst.serialization);
+        initHistogram(dst.propagation);
+        initHistogram(dst.ingress_wait);
+        initHistogram(dst.total);
+        dst.group = std::make_unique<common::StatGroup>(
+            "latency.dst" + std::to_string(g));
+        dst.group->registerHistogram("residency_ticks", &dst.residency,
+                                     "coalescing residency per store");
+        dst.group->registerHistogram("serialization_ticks",
+                                     &dst.serialization,
+                                     "source queueing + first-link TX");
+        dst.group->registerHistogram("propagation_ticks", &dst.propagation,
+                                     "switch + downlink flight");
+        dst.group->registerHistogram("ingress_wait_ticks", &dst.ingress_wait,
+                                     "ingress HBM drain queueing");
+        dst.group->registerHistogram("total_ticks", &dst.total,
+                                     "store end-to-end latency");
+    }
+}
+
+void
+LatencyCollector::record(GpuId dst, const MsgTimestamps &t, Tick arrival,
+                         Tick commit, const StoreStamp *stamps,
+                         std::size_t count)
+{
+    bool stamped = t.created != no_stamp && t.tx_start != no_stamp
+        && t.tx_end != no_stamp;
+    bool monotonic = stamped && t.created <= t.tx_start
+        && t.tx_start <= t.tx_end && t.tx_end <= arrival
+        && arrival <= commit;
+    if (!monotonic) {
+        ++_violations;
+        return;
+    }
+
+    DstStats *per_dst = dst < _dst.size() ? &_dst[dst] : nullptr;
+
+    auto serialization = static_cast<double>(t.tx_end - t.created);
+    auto propagation = static_cast<double>(arrival - t.tx_end);
+    auto ingress_wait = static_cast<double>(commit - arrival);
+    _serialization.sample(serialization);
+    _propagation.sample(propagation);
+    _ingress_wait.sample(ingress_wait);
+    if (per_dst) {
+        per_dst->serialization.sample(serialization);
+        per_dst->propagation.sample(propagation);
+        per_dst->ingress_wait.sample(ingress_wait);
+    }
+    ++_messages;
+
+    for (std::size_t i = 0; i < count; ++i) {
+        const StoreStamp &stamp = stamps[i];
+        if (stamp.issue == no_stamp || stamp.issue > t.created) {
+            ++_violations;
+            continue;
+        }
+        auto residency = static_cast<double>(t.created - stamp.issue);
+        auto total = static_cast<double>(commit - stamp.issue);
+        _residency.sample(residency);
+        _total.sample(total);
+        if (t.flush_reason < flush_reason_count)
+            _residency_by_reason[t.flush_reason].sample(residency);
+        _total_by_size[latencySizeClass(stamp.size)].sample(total);
+        if (per_dst) {
+            per_dst->residency.sample(residency);
+            per_dst->total.sample(total);
+        }
+        ++_stores;
+    }
+}
+
+} // namespace fp::obs

@@ -49,6 +49,51 @@ TraceSink::instant(std::uint32_t pid, std::uint32_t tid, const char *name,
 }
 
 void
+TraceSink::flowStart(std::uint32_t pid, std::uint32_t tid, const char *name,
+                     const char *cat, Tick ts, std::uint64_t id)
+{
+    Event e;
+    e.ph = 's';
+    e.pid = pid;
+    e.tid = tid;
+    e.ts = ts;
+    e.name = name;
+    e.cat = cat;
+    e.id = id;
+    push(std::move(e));
+}
+
+void
+TraceSink::flowStep(std::uint32_t pid, std::uint32_t tid, const char *name,
+                    const char *cat, Tick ts, std::uint64_t id)
+{
+    Event e;
+    e.ph = 't';
+    e.pid = pid;
+    e.tid = tid;
+    e.ts = ts;
+    e.name = name;
+    e.cat = cat;
+    e.id = id;
+    push(std::move(e));
+}
+
+void
+TraceSink::flowEnd(std::uint32_t pid, std::uint32_t tid, const char *name,
+                   const char *cat, Tick ts, std::uint64_t id)
+{
+    Event e;
+    e.ph = 'f';
+    e.pid = pid;
+    e.tid = tid;
+    e.ts = ts;
+    e.name = name;
+    e.cat = cat;
+    e.id = id;
+    push(std::move(e));
+}
+
+void
 TraceSink::counter(std::uint32_t pid, const std::string &track, Tick ts,
                    double value)
 {
@@ -115,6 +160,12 @@ TraceSink::write(std::ostream &os) const
             json.kv("dur", us(e.dur));
         if (e.ph == 'i')
             json.kv("s", "t");
+        if (e.ph == 's' || e.ph == 't' || e.ph == 'f') {
+            json.kv("id", e.id);
+            // Bind the flow end to the enclosing slice, Perfetto-style.
+            if (e.ph == 'f')
+                json.kv("bp", "e");
+        }
         json.kv("name", e.dyn_name.empty() ? std::string(e.name)
                                            : e.dyn_name);
         if (e.cat)

@@ -95,6 +95,19 @@ class TraceSink
     void counter(std::uint32_t pid, const std::string &track, Tick ts,
                  double value);
 
+    /**
+     * Flow events (ph "s" / "t" / "f") chaining slices across
+     * processes; all events sharing @p id render as one arrowed flow
+     * in Perfetto. Each binds to the enclosing ph-"X" slice on the
+     * same pid/tid at @p ts.
+     */
+    void flowStart(std::uint32_t pid, std::uint32_t tid, const char *name,
+                   const char *cat, Tick ts, std::uint64_t id);
+    void flowStep(std::uint32_t pid, std::uint32_t tid, const char *name,
+                  const char *cat, Tick ts, std::uint64_t id);
+    void flowEnd(std::uint32_t pid, std::uint32_t tid, const char *name,
+                 const char *cat, Tick ts, std::uint64_t id);
+
     /** Process / thread naming metadata (ph "M"). */
     void processName(std::uint32_t pid, const std::string &name);
     void threadName(std::uint32_t pid, std::uint32_t tid,
@@ -118,6 +131,8 @@ class TraceSink
         const char *cat = nullptr;
         /** Dynamic name (counter tracks, metadata string values). */
         std::string dyn_name;
+        /** Flow chain id (ph "s"/"t"/"f" only). */
+        std::uint64_t id = 0;
         std::array<Arg, 3> args{};
     };
 

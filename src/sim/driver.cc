@@ -13,6 +13,7 @@
 #include "gpu/egress_port.hh"
 #include "gpu/ingress_port.hh"
 #include "interconnect/topology.hh"
+#include "obs/latency.hh"
 #include "obs/metrics.hh"
 #include "obs/sampler.hh"
 #include "obs/trace_event.hh"
@@ -234,6 +235,14 @@ SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
         }
         for (auto &port : sys.egress)
             port->setTracer(tracer);
+    }
+
+    if (obs::LatencyCollector *latency = _config.latency) {
+        latency->beginRun(gpus);
+        for (auto &port : sys.ingress)
+            port->setLatencyCollector(latency);
+        for (auto &port : sys.egress)
+            port->setLatencyCollector(latency);
     }
 
     obs::PeriodicSampler *sampler = _config.sampler;

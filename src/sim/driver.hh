@@ -29,6 +29,7 @@ class EventQueueObserver;
 } // namespace fp::common
 
 namespace fp::obs {
+class LatencyCollector;
 class MetricsCapture;
 class PeriodicSampler;
 class TraceSink;
@@ -80,6 +81,13 @@ struct SimConfig
      * registry just before the simulated system is torn down.
      */
     obs::MetricsCapture *metrics = nullptr;
+    /**
+     * Latency attribution collector: when set, egress ports stamp
+     * store issue ticks, the fabric/links stamp message milestones,
+     * and every ingress port records per-stage latencies into it.
+     * Event-driven paradigms only; see docs/latency.md.
+     */
+    obs::LatencyCollector *latency = nullptr;
 
     // ---- Determinism analysis hooks (see docs/determinism.md) ----------
     /**

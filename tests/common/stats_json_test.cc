@@ -112,7 +112,48 @@ TEST(StatsJsonTest, HistogramSchema)
     EXPECT_DOUBLE_EQ(hist.at("counts").array[0].number, 1.0);
     EXPECT_DOUBLE_EQ(hist.at("counts").array[1].number, 2.0);
     EXPECT_DOUBLE_EQ(hist.at("counts").array[3].number, 1.0);
+    EXPECT_DOUBLE_EQ(hist.at("min").number, 2.0);
+    EXPECT_DOUBLE_EQ(hist.at("max").number, 128.0);
+    // Percentiles interpolate within the bucket, clamped to the
+    // observed [min, max].
+    for (const char *key : {"p50", "p90", "p95", "p99"}) {
+        ASSERT_TRUE(hist.has(key)) << key;
+        EXPECT_GE(hist.at(key).number, 2.0) << key;
+        EXPECT_LE(hist.at(key).number, 128.0) << key;
+    }
+    EXPECT_LE(hist.at("p50").number, hist.at("p90").number);
+    EXPECT_LE(hist.at("p90").number, hist.at("p95").number);
+    EXPECT_LE(hist.at("p95").number, hist.at("p99").number);
     EXPECT_EQ(hist.at("desc").string, "store sizes");
+}
+
+TEST(StatsJsonTest, HistogramPercentiles)
+{
+    Histogram h;
+    h.init({0.0, 10.0, 100.0});
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0); // empty -> 0
+
+    for (int i = 0; i < 100; ++i)
+        h.sample(5.0);
+    // All samples in one bucket: every percentile collapses to the
+    // single observed value.
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 5.0);
+    EXPECT_DOUBLE_EQ(h.min(), 5.0);
+    EXPECT_DOUBLE_EQ(h.max(), 5.0);
+
+    h.reset();
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    for (int i = 0; i < 90; ++i)
+        h.sample(5.0);
+    for (int i = 0; i < 10; ++i)
+        h.sample(50.0);
+    // p50 falls in the first bucket, p99 in the second; ordering and
+    // clamping must hold.
+    EXPECT_LE(h.percentile(0.5), 10.0);
+    EXPECT_GE(h.percentile(0.99), 10.0);
+    EXPECT_LE(h.percentile(0.99), 50.0);
+    EXPECT_LE(h.percentile(0.5), h.percentile(0.99));
 }
 
 TEST(StatsJsonTest, RegistryTracksGroupLifetime)

@@ -1,0 +1,151 @@
+/**
+ * Unit tests for the latency attribution collector (obs/latency.hh):
+ * stage arithmetic, milestone validation, breakdown routing, and the
+ * flush-reason label table that obs duplicates from finepack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "finepack/remote_write_queue.hh"
+#include "obs/latency.hh"
+
+using namespace fp;
+using namespace fp::obs;
+
+namespace {
+
+MsgTimestamps
+goodTimestamps()
+{
+    MsgTimestamps t;
+    t.created = 1000;
+    t.tx_start = 1200;
+    t.tx_end = 1500;
+    t.flush_reason = 3; // release
+    return t;
+}
+
+} // namespace
+
+TEST(LatencyCollectorTest, RecordsMessageStages)
+{
+    LatencyCollector collector;
+    collector.beginRun(2);
+
+    MsgTimestamps t = goodTimestamps();
+    StoreStamp stamps[2] = {{800, 4}, {900, 16}};
+    collector.record(GpuId{1}, t, /*arrival=*/2000, /*commit=*/2400,
+                     stamps, 2);
+
+    EXPECT_EQ(collector.messages(), 1u);
+    EXPECT_EQ(collector.stores(), 2u);
+    EXPECT_EQ(collector.violations(), 0u);
+
+    // serialization = tx_end - created, propagation = arrival - tx_end,
+    // ingress_wait = commit - arrival.
+    EXPECT_EQ(collector.serialization().total(), 1u);
+    EXPECT_DOUBLE_EQ(collector.serialization().min(), 500.0);
+    EXPECT_DOUBLE_EQ(collector.propagation().min(), 500.0);
+    EXPECT_DOUBLE_EQ(collector.ingressWait().min(), 400.0);
+
+    // Per-store: residency = created - issue, total = commit - issue.
+    EXPECT_EQ(collector.residency().total(), 2u);
+    EXPECT_DOUBLE_EQ(collector.residency().min(), 100.0);
+    EXPECT_DOUBLE_EQ(collector.residency().max(), 200.0);
+    EXPECT_EQ(collector.total().total(), 2u);
+    EXPECT_DOUBLE_EQ(collector.total().min(), 1500.0);
+    EXPECT_DOUBLE_EQ(collector.total().max(), 1600.0);
+}
+
+TEST(LatencyCollectorTest, EmptyStampsContributeMessageStagesOnly)
+{
+    LatencyCollector collector;
+    collector.beginRun(2);
+    collector.record(GpuId{0}, goodTimestamps(), 2000, 2400, nullptr, 0);
+    EXPECT_EQ(collector.messages(), 1u);
+    EXPECT_EQ(collector.stores(), 0u);
+    EXPECT_EQ(collector.residency().total(), 0u);
+    EXPECT_EQ(collector.serialization().total(), 1u);
+}
+
+TEST(LatencyCollectorTest, RejectsMissingAndNonMonotonicMilestones)
+{
+    LatencyCollector collector;
+    collector.beginRun(1);
+
+    MsgTimestamps unstamped; // everything no_stamp
+    collector.record(GpuId{0}, unstamped, 2000, 2400, nullptr, 0);
+    EXPECT_EQ(collector.messages(), 0u);
+    EXPECT_EQ(collector.violations(), 1u);
+
+    MsgTimestamps backwards = goodTimestamps();
+    backwards.tx_end = backwards.created - 1;
+    collector.record(GpuId{0}, backwards, 2000, 2400, nullptr, 0);
+    EXPECT_EQ(collector.messages(), 0u);
+    EXPECT_EQ(collector.violations(), 2u);
+
+    // Commit before arrival.
+    collector.record(GpuId{0}, goodTimestamps(), 2000, 1999, nullptr, 0);
+    EXPECT_EQ(collector.violations(), 3u);
+
+    // A bad store stamp drops the store, not the message.
+    StoreStamp late{goodTimestamps().created + 1, 4};
+    collector.record(GpuId{0}, goodTimestamps(), 2000, 2400, &late, 1);
+    EXPECT_EQ(collector.messages(), 1u);
+    EXPECT_EQ(collector.stores(), 0u);
+    EXPECT_EQ(collector.violations(), 4u);
+}
+
+TEST(LatencyCollectorTest, BeginRunResets)
+{
+    LatencyCollector collector;
+    collector.beginRun(4);
+    StoreStamp stamp{800, 8};
+    collector.record(GpuId{3}, goodTimestamps(), 2000, 2400, &stamp, 1);
+    EXPECT_EQ(collector.messages(), 1u);
+
+    collector.beginRun(2);
+    EXPECT_EQ(collector.messages(), 0u);
+    EXPECT_EQ(collector.stores(), 0u);
+    EXPECT_EQ(collector.total().total(), 0u);
+}
+
+TEST(LatencySizeClassTest, BoundariesAndNames)
+{
+    EXPECT_EQ(latencySizeClass(1), 0u);
+    EXPECT_EQ(latencySizeClass(4), 0u);
+    EXPECT_EQ(latencySizeClass(5), 1u);
+    EXPECT_EQ(latencySizeClass(8), 1u);
+    EXPECT_EQ(latencySizeClass(16), 2u);
+    EXPECT_EQ(latencySizeClass(32), 3u);
+    EXPECT_EQ(latencySizeClass(64), 4u);
+    EXPECT_EQ(latencySizeClass(128), 5u);
+    // Anything larger than a cache line folds into the top class.
+    EXPECT_EQ(latencySizeClass(4096), 5u);
+
+    EXPECT_STREQ(latencySizeClassName(0), "le4");
+    EXPECT_STREQ(latencySizeClassName(5), "le128");
+}
+
+/**
+ * obs duplicates the FlushReason label table because it cannot depend
+ * on finepack (layering); this pins the two tables together so they
+ * cannot drift apart silently.
+ */
+TEST(FlushReasonNameTest, MatchesFinepackToString)
+{
+    using finepack::FlushReason;
+    const FlushReason reasons[] = {
+        FlushReason::window_violation, FlushReason::payload_full,
+        FlushReason::entries_full,     FlushReason::release,
+        FlushReason::load_conflict,    FlushReason::atomic_conflict,
+    };
+    ASSERT_EQ(std::size(reasons), flush_reason_count);
+    for (FlushReason reason : reasons) {
+        EXPECT_STREQ(
+            flushReasonName(static_cast<std::uint8_t>(reason)),
+            toString(reason))
+            << static_cast<int>(reason);
+    }
+    EXPECT_STREQ(flushReasonName(no_flush_reason), "none");
+}

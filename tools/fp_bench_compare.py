@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Compare bench --json output against checked-in baselines.
+
+Every bench binary accepts `--json FILE` and writes a flat document
+
+    {"bench": NAME, "schema_version": 1, "scale": S, "metrics": {...}}
+
+This tool diffs one or more such files against `bench/baselines/<bench>.json`
+and fails (exit 1) when any metric drifts outside its tolerance, when the
+metric name sets diverge, or when scale / schema_version differ (a baseline
+recorded at another scale is not comparable).
+
+Tolerances are relative, default 2%. Per-metric overrides live in
+`bench/baselines/tolerances.json`:
+
+    {"<bench>": {"<metric glob>": <percent>, ...}, "*": {...}}
+
+Globs are fnmatch-style; the most specific match wins (bench section before
+the "*" section, longer pattern before shorter). A tolerance of 0 demands
+exact equality - used for deterministic count metrics.
+
+Usage:
+    fp_bench_compare.py [options] CURRENT.json [CURRENT.json ...]
+
+Options:
+    --baseline-dir DIR   baseline directory (default: bench/baselines
+                         relative to the repository root)
+    --tolerance PCT      default relative tolerance in percent (default 2)
+    --update             overwrite the baselines with the current files
+                         instead of comparing (records new expectations)
+
+Exit status: 0 all within tolerance, 1 regression or mismatch, 2 usage or
+I/O error.
+"""
+
+import argparse
+import fnmatch
+import json
+import shutil
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load(path: Path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    for key in ("bench", "schema_version", "scale", "metrics"):
+        if key not in doc:
+            sys.exit(f"error: {path}: missing key '{key}'")
+    return doc
+
+
+def load_tolerances(baseline_dir: Path):
+    path = baseline_dir / "tolerances.json"
+    if not path.exists():
+        return {}
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+
+
+def tolerance_for(tolerances, bench, metric, default_pct):
+    """Most specific tolerance: bench section first, then "*" section;
+    within a section the longest matching glob wins."""
+    for section in (bench, "*"):
+        rules = tolerances.get(section, {})
+        best = None
+        for pattern, pct in rules.items():
+            if fnmatch.fnmatchcase(metric, pattern):
+                if best is None or len(pattern) > len(best[0]):
+                    best = (pattern, pct)
+        if best is not None:
+            return float(best[1])
+    return default_pct
+
+
+def compare(current: Path, baseline_dir: Path, tolerances, default_pct):
+    """Return a list of failure strings (empty = pass)."""
+    cur = load(current)
+    bench = cur["bench"]
+    base_path = baseline_dir / f"{bench}.json"
+    if not base_path.exists():
+        return [f"{bench}: no baseline at {base_path} "
+                f"(record one with --update)"]
+    base = load(base_path)
+
+    failures = []
+    if cur["schema_version"] != base["schema_version"]:
+        failures.append(
+            f"{bench}: schema_version {cur['schema_version']} != "
+            f"baseline {base['schema_version']}")
+    if cur["scale"] != base["scale"]:
+        failures.append(
+            f"{bench}: scale {cur['scale']} != baseline {base['scale']} "
+            f"(re-record the baseline at this scale)")
+        return failures
+
+    cur_names = set(cur["metrics"])
+    base_names = set(base["metrics"])
+    for name in sorted(base_names - cur_names):
+        failures.append(f"{bench}: metric '{name}' missing from current run")
+    for name in sorted(cur_names - base_names):
+        failures.append(f"{bench}: new metric '{name}' not in baseline "
+                        f"(re-record with --update)")
+
+    for name in sorted(cur_names & base_names):
+        cur_v = float(cur["metrics"][name])
+        base_v = float(base["metrics"][name])
+        pct = tolerance_for(tolerances, bench, name, default_pct)
+        if base_v == 0.0:
+            ok = cur_v == 0.0 if pct == 0.0 else abs(cur_v) <= pct / 100.0
+            rel = float("inf") if cur_v else 0.0
+        else:
+            rel = abs(cur_v - base_v) / abs(base_v) * 100.0
+            ok = rel <= pct
+        if not ok:
+            failures.append(
+                f"{bench}: {name} = {cur_v:.6g}, baseline {base_v:.6g} "
+                f"(drift {rel:.2f}% > tolerance {pct:g}%)")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("current", nargs="+", type=Path,
+                        help="bench --json output file(s)")
+    parser.add_argument("--baseline-dir", type=Path,
+                        default=REPO_ROOT / "bench" / "baselines")
+    parser.add_argument("--tolerance", type=float, default=2.0,
+                        help="default relative tolerance in percent")
+    parser.add_argument("--update", action="store_true",
+                        help="record the current files as the new baselines")
+    args = parser.parse_args()
+
+    if args.update:
+        args.baseline_dir.mkdir(parents=True, exist_ok=True)
+        for path in args.current:
+            bench = load(path)["bench"]
+            dest = args.baseline_dir / f"{bench}.json"
+            shutil.copyfile(path, dest)
+            print(f"recorded {dest}")
+        return 0
+
+    tolerances = load_tolerances(args.baseline_dir)
+    all_failures = []
+    for path in args.current:
+        failures = compare(path, args.baseline_dir, tolerances,
+                           args.tolerance)
+        bench = load(path)["bench"]
+        if failures:
+            all_failures.extend(failures)
+            print(f"FAIL {bench} ({len(failures)} issue(s))")
+        else:
+            print(f"ok   {bench}")
+    if all_failures:
+        print(f"\n{len(all_failures)} regression(s):", file=sys.stderr)
+        for failure in all_failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

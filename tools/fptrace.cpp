@@ -10,12 +10,17 @@
  *   replay <trace.fpt> [--paradigm P] [--pcie GEN] [--check]
  *          [--stats-json FILE] [--trace-out FILE]
  *          [--trace-detail full|flush|off] [--sample-ns N]
+ *          [--no-latency]
  *       Simulate a serialized trace under one paradigm. With --check,
  *       the shadow-memory protocol oracle verifies every FinePack
  *       transaction byte-for-byte against the issued store stream.
  *       --stats-json exports every registered stat group plus sampled
  *       time series; --trace-out writes a Chrome trace-event /
- *       Perfetto-compatible event trace of the pipeline.
+ *       Perfetto-compatible event trace of the pipeline. Latency
+ *       attribution (docs/latency.md) is on by default: its stage
+ *       histograms land in the stats JSON, a one-line p50/p99 summary
+ *       prints otherwise, and at --trace-detail full each message gets
+ *       a flow-event chain; --no-latency disables the stamping.
  *   racecheck <trace.fpt> [--paradigm P] [--pcie GEN] [--seeds N]
  *             [--report FILE] [--waive GLOB] [--no-default-waivers]
  *       Determinism analysis (docs/determinism.md). Statically: replay
@@ -40,6 +45,7 @@
 #include "check/race_detector.hh"
 #include "common/json.hh"
 #include "common/table.hh"
+#include "obs/latency.hh"
 #include "obs/metrics.hh"
 #include "obs/sampler.hh"
 #include "obs/trace_event.hh"
@@ -64,6 +70,7 @@ usage()
            "                 [--stats-json FILE] [--trace-out FILE]\n"
            "                 [--trace-detail full|flush|off]"
            " [--sample-ns N]\n"
+           "                 [--no-latency]\n"
            "  fptrace racecheck <trace.fpt> [--paradigm P]"
            " [--pcie 3|4|5|6]\n"
            "                 [--seeds N] [--report FILE] [--waive GLOB]\n"
@@ -225,12 +232,18 @@ cmdReplay(int argc, char **argv)
     obs::TraceSink tracer(detail);
     obs::PeriodicSampler sampler(sample_ns * ticks_per_ns);
     obs::MetricsCapture metrics;
+    obs::LatencyCollector latency;
     if (*trace_path != '\0' && detail != obs::TraceDetail::off)
         config.tracer = &tracer;
     if (*stats_path != '\0') {
         config.sampler = &sampler;
         config.metrics = &metrics;
     }
+    // Latency attribution is on by default (its stats groups land in
+    // the stats JSON); --no-latency restores the zero-stamp fast path.
+    bool want_latency = !hasFlag(argc, argv, "--no-latency");
+    if (want_latency)
+        config.latency = &latency;
 
     sim::SimulationDriver driver(config);
     sim::RunResult baseline =
@@ -275,6 +288,23 @@ cmdReplay(int argc, char **argv)
                   << common::Table::num(result.avg_stores_per_packet, 1)
                   << " stores/packet over " << result.finepack_packets
                   << " packets\n";
+    if (want_latency && *stats_path == '\0' && latency.messages() > 0) {
+        // Per-stage p50/p99 in ns; full breakdowns need --stats-json.
+        auto ns = [](const common::Histogram &h, double p) {
+            return common::Table::num(
+                h.percentile(p) / static_cast<double>(ticks_per_ns), 1);
+        };
+        auto stage = [&](const common::Histogram &h) {
+            return ns(h, 0.50) + "/" + ns(h, 0.99);
+        };
+        std::cout << "latency:    p50/p99 ns - residency "
+                  << stage(latency.residency()) << ", serialize "
+                  << stage(latency.serialization()) << ", propagate "
+                  << stage(latency.propagation()) << ", ingress "
+                  << stage(latency.ingressWait()) << ", total "
+                  << stage(latency.total()) << " (" << latency.messages()
+                  << " msgs)\n";
+    }
     if (config.check && paradigm == sim::Paradigm::finepack)
         std::cout << "oracle:     verified " << result.oracle_transactions
                   << " transactions / " << result.oracle_bytes

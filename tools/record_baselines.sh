@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Refresh bench/baselines/: run every JSON-capable bench at the canonical
+# baseline scale and record its output via fp_bench_compare.py --update.
+#
+# Usage: tools/record_baselines.sh [BUILD_DIR]
+#
+# Trace-driven benches run at FINEPACK_BENCH_SCALE=0.1 to keep the refresh
+# (and the CI perf-smoke job that replays fig02 at the same scale) fast;
+# the analytic benches (tab02, micro_finepack) are scale-independent.
+# fp_bench_compare.py refuses to compare across scales, so CI must use the
+# same value - keep this in sync with .github/workflows/ci.yml.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+
+export FINEPACK_BENCH_SCALE=0.1
+
+benches=(
+    fig02_goodput
+    fig04_store_sizes
+    fig09_speedup
+    fig10_traffic_breakdown
+    fig11_coalescing
+    fig12_subheader_sweep
+    fig13_bandwidth_sweep
+    tab02_subheader_ranges
+    scalability_sweep
+    micro_finepack
+)
+
+for bench in "${benches[@]}"; do
+    bin="$build_dir/bench/$bench"
+    if [[ ! -x "$bin" ]]; then
+        echo "error: $bin not built (cmake --build $build_dir)" >&2
+        exit 2
+    fi
+    echo "=== $bench"
+    extra=()
+    [[ "$bench" == micro_finepack ]] && extra=(--no-timing)
+    "$bin" --json "$out_dir/$bench.json" "${extra[@]}" > /dev/null
+done
+
+python3 "$repo_root/tools/fp_bench_compare.py" --update \
+    --baseline-dir "$repo_root/bench/baselines" "$out_dir"/*.json
+echo "baselines refreshed in bench/baselines/"
