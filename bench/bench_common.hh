@@ -24,6 +24,7 @@
 #include "common/json.hh"
 #include "common/table.hh"
 #include "sim/driver.hh"
+#include "sim/sweep.hh"
 #include "sim/trace_cache.hh"
 #include "workloads/workload.hh"
 
@@ -170,6 +171,72 @@ speedups(sim::SimulationDriver &driver, const trace::WorkloadTrace &trace,
                            static_cast<double>(t);
     }
     return result;
+}
+
+/**
+ * Sweep lane count: FINEPACK_BENCH_JOBS (exported by the
+ * record_baselines.sh -j flag) overrides; the default of 1 keeps
+ * plain bench invocations serial, which is also the reference order
+ * the parallel path must reproduce byte-for-byte.
+ */
+inline unsigned
+benchJobs()
+{
+    return sim::SweepRunner::defaultJobs();
+}
+
+/**
+ * Run a batch of independent simulations on the shared bench sweep
+ * runner (one pool per process, sized by benchJobs()); result i
+ * corresponds to jobs[i] no matter how the batch was scheduled.
+ */
+inline std::vector<sim::RunResult>
+runSweep(const std::vector<sim::SweepJob> &jobs)
+{
+    // fp-lint: allow(global-state) internally synchronized: ThreadPool
+    // guards its queue with an fp::Mutex; construction is C++ magic-
+    // static thread safe.
+    static sim::SweepRunner runner(benchJobs());
+    return runner.run(jobs);
+}
+
+/**
+ * Per-app speedups over the 1-GPU baseline for a set of paradigms,
+ * computed as one sweep batch: jobs are laid out app-major as
+ * [single_gpu, paradigms...] and aggregated by index, so the numbers
+ * are identical to calling speedups() per app in order.
+ */
+inline std::map<std::string, std::map<sim::Paradigm, double>>
+sweepSpeedups(double scale, const std::vector<sim::Paradigm> &paradigms,
+              const sim::SimConfig &config = sim::SimConfig(),
+              std::uint32_t num_gpus = 4)
+{
+    std::vector<sim::SweepJob> jobs;
+    for (const std::string &app : apps()) {
+        sim::SweepJob job;
+        job.workload = app;
+        job.params = benchParams(scale, num_gpus);
+        job.config = config;
+        job.paradigm = sim::Paradigm::single_gpu;
+        jobs.push_back(job);
+        for (sim::Paradigm paradigm : paradigms) {
+            job.paradigm = paradigm;
+            jobs.push_back(job);
+        }
+    }
+    std::vector<sim::RunResult> results = runSweep(jobs);
+
+    std::map<std::string, std::map<sim::Paradigm, double>> out;
+    std::size_t i = 0;
+    for (const std::string &app : apps()) {
+        Tick single = results[i++].total_time;
+        for (sim::Paradigm paradigm : paradigms) {
+            Tick t = results[i++].total_time;
+            out[app][paradigm] = static_cast<double>(single) /
+                                 static_cast<double>(t);
+        }
+    }
+    return out;
 }
 
 } // namespace fp::bench

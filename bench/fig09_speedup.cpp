@@ -17,7 +17,6 @@ main(int argc, char **argv)
 
     double scale = benchScale(1.0);
     JsonReporter reporter("fig09_speedup", argc, argv, scale);
-    sim::SimulationDriver driver;
 
     const std::vector<Paradigm> paradigms = {
         Paradigm::p2p_stores, Paradigm::bulk_dma, Paradigm::finepack,
@@ -28,10 +27,11 @@ main(int argc, char **argv)
     table.setHeader(
         {"app", "p2p-stores", "bulk-dma", "finepack", "infinite-bw"});
 
+    auto by_app = sweepSpeedups(scale, paradigms);
+
     std::map<Paradigm, std::vector<double>> all;
     for (const std::string &app : apps()) {
-        const auto &trace = benchTrace(app, scale);
-        auto result = speedups(driver, trace, paradigms);
+        auto &result = by_app[app];
         table.addRow({app, common::Table::num(result[paradigms[0]], 2),
                       common::Table::num(result[paradigms[1]], 2),
                       common::Table::num(result[paradigms[2]], 2),

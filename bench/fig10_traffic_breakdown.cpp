@@ -19,11 +19,22 @@ main(int argc, char **argv)
 
     double scale = benchScale(1.0);
     JsonReporter reporter("fig10_traffic_breakdown", argc, argv, scale);
-    sim::SimulationDriver driver;
 
     const std::vector<Paradigm> paradigms = {
         Paradigm::bulk_dma, Paradigm::p2p_stores,
         Paradigm::write_combine, Paradigm::finepack};
+
+    std::vector<sim::SweepJob> jobs;
+    for (const std::string &app : apps()) {
+        sim::SweepJob job;
+        job.workload = app;
+        job.params = benchParams(scale);
+        for (Paradigm paradigm : paradigms) {
+            job.paradigm = paradigm;
+            jobs.push_back(job);
+        }
+    }
+    std::vector<sim::RunResult> runs = runSweep(jobs);
 
     common::Table table(
         "Figure 10: bytes on the wire, normalized to bulk DMA "
@@ -35,11 +46,11 @@ main(int argc, char **argv)
            wc_total = 0.0, wc_alone_total = 0.0, wc_line_total = 0.0,
            uncompressed_total = 0.0;
 
+    std::size_t job_index = 0;
     for (const std::string &app : apps()) {
-        const auto &trace = benchTrace(app, scale);
         double dma_bytes = 0.0;
         for (Paradigm paradigm : paradigms) {
-            sim::RunResult r = driver.run(trace, paradigm);
+            const sim::RunResult &r = runs[job_index++];
             auto total = static_cast<double>(r.wire_bytes);
             if (paradigm == Paradigm::bulk_dma) {
                 dma_bytes = total;

@@ -15,16 +15,25 @@ main(int argc, char **argv)
 
     double scale = benchScale(1.0);
     JsonReporter reporter("fig11_coalescing", argc, argv, scale);
-    sim::SimulationDriver driver;
+
+    std::vector<sim::SweepJob> jobs;
+    for (const std::string &app : apps()) {
+        sim::SweepJob job;
+        job.workload = app;
+        job.params = benchParams(scale);
+        job.paradigm = sim::Paradigm::finepack;
+        jobs.push_back(job);
+    }
+    std::vector<sim::RunResult> runs = runSweep(jobs);
 
     common::Table table(
         "Figure 11: average stores aggregated per FinePack packet");
     table.setHeader({"app", "stores/packet", "packets"});
 
     std::vector<double> all;
+    std::size_t job_index = 0;
     for (const std::string &app : apps()) {
-        const auto &trace = benchTrace(app, scale);
-        sim::RunResult r = driver.run(trace, sim::Paradigm::finepack);
+        const sim::RunResult &r = runs[job_index++];
         table.addRow({app,
                       common::Table::num(r.avg_stores_per_packet, 1),
                       std::to_string(r.finepack_packets)});

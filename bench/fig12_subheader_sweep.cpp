@@ -25,16 +25,33 @@ main(int argc, char **argv)
     table.setHeader({"app", "2B (64B)", "3B (16KB)", "4B (4MB)",
                      "5B (1GB)", "6B (256GB)"});
 
-    std::map<std::uint32_t, std::vector<double>> per_config;
+    // Two jobs per (app, sub-header bytes): the single-GPU baseline
+    // and the FinePack run, both under that sub-header configuration
+    // (exactly what speedupOverSingleGpu did serially).
+    std::vector<sim::SweepJob> jobs;
     for (const std::string &app : apps()) {
-        const auto &trace = benchTrace(app, scale);
+        sim::SweepJob job;
+        job.workload = app;
+        job.params = benchParams(scale);
+        for (std::uint32_t bytes : sweep) {
+            job.config.finepack = finepack::configWithSubheader(bytes);
+            job.paradigm = sim::Paradigm::single_gpu;
+            jobs.push_back(job);
+            job.paradigm = sim::Paradigm::finepack;
+            jobs.push_back(job);
+        }
+    }
+    std::vector<sim::RunResult> runs = runSweep(jobs);
+
+    std::map<std::uint32_t, std::vector<double>> per_config;
+    std::size_t job_index = 0;
+    for (const std::string &app : apps()) {
         std::vector<std::string> row{app};
         for (std::uint32_t bytes : sweep) {
-            sim::SimConfig config;
-            config.finepack = finepack::configWithSubheader(bytes);
-            sim::SimulationDriver driver(config);
-            double speedup = driver.speedupOverSingleGpu(
-                trace, sim::Paradigm::finepack);
+            Tick single = runs[job_index++].total_time;
+            Tick finepack_time = runs[job_index++].total_time;
+            double speedup = static_cast<double>(single) /
+                             static_cast<double>(finepack_time);
             per_config[bytes].push_back(speedup);
             reporter.add("speedup." + app + "." + std::to_string(bytes)
                              + "B",

@@ -53,15 +53,12 @@ main(int argc, char **argv)
     for (icn::PcieGen gen : gens) {
         sim::SimConfig config;
         config.pcie_gen = gen;
-        sim::SimulationDriver driver(config);
 
+        auto by_app = sweepSpeedups(scale, paradigms, config);
         std::map<Paradigm, std::vector<double>> per_app;
-        for (const std::string &app : apps()) {
-            const auto &trace = benchTrace(app, scale);
-            auto result = speedups(driver, trace, paradigms);
+        for (const std::string &app : apps())
             for (Paradigm p : paradigms)
-                per_app[p].push_back(result[p]);
-        }
+                per_app[p].push_back(by_app[app][p]);
         std::vector<std::string> row{toString(gen)};
         for (Paradigm p : paradigms) {
             geo[gen][p] = geomean(per_app[p]);

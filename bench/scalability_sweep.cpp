@@ -18,7 +18,6 @@ main(int argc, char **argv)
 
     double scale = benchScale(0.5);
     JsonReporter reporter("scalability_sweep", argc, argv, scale);
-    sim::SimulationDriver driver;
 
     const std::vector<std::uint32_t> gpu_counts = {2, 4, 8, 16};
     const std::vector<Paradigm> paradigms = {
@@ -32,13 +31,12 @@ main(int argc, char **argv)
                      "infinite-bw", "FP % of opportunity"});
 
     for (std::uint32_t gpus : gpu_counts) {
+        auto by_app =
+            sweepSpeedups(scale, paradigms, sim::SimConfig(), gpus);
         std::map<Paradigm, std::vector<double>> per_app;
-        for (const std::string &app : apps()) {
-            const auto &trace = benchTrace(app, scale, gpus);
-            auto result = speedups(driver, trace, paradigms);
+        for (const std::string &app : apps())
             for (Paradigm p : paradigms)
-                per_app[p].push_back(result[p]);
-        }
+                per_app[p].push_back(by_app[app][p]);
         double fp_geo = geomean(per_app[Paradigm::finepack]);
         double inf_geo = geomean(per_app[Paradigm::infinite_bw]);
         std::string prefix = "geomean." + std::to_string(gpus) + "gpu.";

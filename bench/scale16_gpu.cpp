@@ -22,7 +22,6 @@ main()
 
     sim::SimConfig config;
     config.pcie_gen = icn::PcieGen::gen6;
-    sim::SimulationDriver driver(config);
 
     const std::vector<Paradigm> paradigms = {
         Paradigm::p2p_stores, Paradigm::bulk_dma, Paradigm::finepack,
@@ -33,10 +32,11 @@ main()
     table.setHeader(
         {"app", "p2p-stores", "bulk-dma", "finepack", "infinite-bw"});
 
+    auto by_app = sweepSpeedups(scale, paradigms, config, gpus);
+
     std::map<Paradigm, std::vector<double>> all;
     for (const std::string &app : apps()) {
-        const auto &trace = benchTrace(app, scale, gpus);
-        auto result = speedups(driver, trace, paradigms);
+        auto &result = by_app[app];
         table.addRow({app, common::Table::num(result[paradigms[0]], 2),
                       common::Table::num(result[paradigms[1]], 2),
                       common::Table::num(result[paradigms[2]], 2),

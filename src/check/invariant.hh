@@ -29,6 +29,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "common/sync.h"
 
 namespace fp::check {
 
@@ -41,7 +42,9 @@ inline constexpr bool invariants_enabled = false;
 
 /**
  * Counts invariant evaluations per name; a process-wide singleton so the
- * macro can record from any translation unit without plumbing.
+ * macro can record from any translation unit without plumbing. All
+ * counters are guarded by an internal fp::Mutex: concurrent simulations
+ * (the parallel sweep runner) record checks from every worker thread.
  */
 class InvariantRegistry
 {
@@ -49,45 +52,68 @@ class InvariantRegistry
     static InvariantRegistry &
     instance()
     {
+        // All counters are FP_GUARDED_BY the registry's fp::Mutex.
+        // fp-lint: allow(global-state) internally synchronized
         static InvariantRegistry registry;
         return registry;
     }
 
     void
-    recordCheck(const char *name)
+    recordCheck(const char *name) FP_EXCLUDES(_mu)
     {
+        fp::MutexLock lock(_mu);
         ++_counts[name];
         ++_total;
     }
 
     [[noreturn]] void
     fail(const char *name, const char *file, int line,
-         const std::string &message)
+         const std::string &message) FP_EXCLUDES(_mu)
     {
-        ++_failures;
+        {
+            fp::MutexLock lock(_mu);
+            ++_failures;
+        }
         common::detail::panicImpl(file, line,
                                   std::string("[") + name + "] " + message);
     }
 
     /** Evaluations of one named invariant since the last reset. */
     std::uint64_t
-    checks(const std::string &name) const
+    checks(const std::string &name) const FP_EXCLUDES(_mu)
     {
+        fp::MutexLock lock(_mu);
         auto it = _counts.find(name);
         return it == _counts.end() ? 0 : it->second;
     }
 
-    std::uint64_t totalChecks() const { return _total; }
-    std::uint64_t failures() const { return _failures; }
+    std::uint64_t
+    totalChecks() const FP_EXCLUDES(_mu)
+    {
+        fp::MutexLock lock(_mu);
+        return _total;
+    }
 
-    /** Names seen so far with their evaluation counts. */
-    const std::map<std::string, std::uint64_t> &counts() const
-    { return _counts; }
+    std::uint64_t
+    failures() const FP_EXCLUDES(_mu)
+    {
+        fp::MutexLock lock(_mu);
+        return _failures;
+    }
+
+    /** Snapshot of the names seen so far with their evaluation counts. */
+    std::map<std::string, std::uint64_t>
+    counts() const FP_EXCLUDES(_mu)
+    {
+        fp::MutexLock lock(_mu);
+        return _counts;
+    }
 
     /** Clear all counters (tests isolate themselves with this). */
     void
-    reset()
+    reset() FP_EXCLUDES(_mu)
     {
+        fp::MutexLock lock(_mu);
         _counts.clear();
         _total = 0;
         _failures = 0;
@@ -96,9 +122,10 @@ class InvariantRegistry
   private:
     InvariantRegistry() = default;
 
-    std::map<std::string, std::uint64_t> _counts;
-    std::uint64_t _total = 0;
-    std::uint64_t _failures = 0;
+    mutable fp::Mutex _mu;
+    std::map<std::string, std::uint64_t> _counts FP_GUARDED_BY(_mu);
+    std::uint64_t _total FP_GUARDED_BY(_mu) = 0;
+    std::uint64_t _failures FP_GUARDED_BY(_mu) = 0;
 };
 
 } // namespace fp::check

@@ -7,11 +7,19 @@ namespace fp::common {
 
 namespace {
 
+// Process-wide output switches: atomics, so any thread may flip them
+// and any simulation worker may consult them without locking.
 std::atomic<bool> exceptions_enabled{true};
 std::atomic<bool> quiet{false};
 
-/** Installed by ScopedTickContext while a simulation is running. */
-std::function<std::uint64_t()> tick_source;
+/**
+ * Installed by ScopedTickContext while a simulation is running.
+ * thread_local: each simulation runs on one thread, so under the
+ * parallel sweep runner every worker carries its own tick context and
+ * diagnostics are stamped with the emitting simulation's clock -
+ * confinement is the thread-safety argument here, not locking.
+ */
+thread_local std::function<std::uint64_t()> tick_source;
 
 /** "[tick N] " when a tick source is active, empty otherwise. */
 std::string

@@ -75,7 +75,8 @@ void setQuiet(bool quiet);
  * prefix their messages with the current simulated tick so diagnostics
  * in long replays are attributable. The driver installs a tick source
  * for the duration of a run via this RAII guard; nesting restores the
- * previous source.
+ * previous source. The underlying slot is thread_local, so concurrent
+ * simulations (the parallel sweep runner) each keep their own context.
  */
 class ScopedTickContext
 {

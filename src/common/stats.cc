@@ -313,19 +313,30 @@ StatGroup::dumpJson(JsonWriter &json) const
 MetricsRegistry &
 MetricsRegistry::instance()
 {
+    // Membership is guarded by the registry's own fp::Mutex.
+    // fp-lint: allow(global-state) internally synchronized
     static MetricsRegistry registry;
     return registry;
+}
+
+std::vector<const StatGroup *>
+MetricsRegistry::groups() const
+{
+    fp::MutexLock lock(_mu);
+    return _groups;
 }
 
 void
 MetricsRegistry::add(const StatGroup *group)
 {
+    fp::MutexLock lock(_mu);
     _groups.push_back(group);
 }
 
 void
 MetricsRegistry::remove(const StatGroup *group)
 {
+    fp::MutexLock lock(_mu);
     auto it = std::find(_groups.begin(), _groups.end(), group);
     if (it != _groups.end())
         _groups.erase(it);
@@ -334,6 +345,10 @@ MetricsRegistry::remove(const StatGroup *group)
 void
 MetricsRegistry::dumpJson(JsonWriter &json) const
 {
+    // The membership lock is held across the walk so groups cannot be
+    // torn down mid-dump; each group's contents are read unlocked (see
+    // the class comment: groups are confined to their owning thread).
+    fp::MutexLock lock(_mu);
     json.beginArray();
     for (const StatGroup *group : _groups)
         group->dumpJson(json);

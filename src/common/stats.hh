@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/sync.h"
 
 namespace fp::common {
 
@@ -215,26 +216,33 @@ class StatGroup
  * exporter serializes the registry while the simulated system is still
  * alive (components own their groups, so a torn-down system leaves the
  * registry automatically).
+ *
+ * Thread safety: membership is guarded by an internal fp::Mutex, so
+ * concurrent simulations (the parallel sweep runner) may construct and
+ * destroy StatGroups freely. The groups themselves are NOT locked: a
+ * StatGroup and its stats stay confined to the simulation that owns
+ * them, so dumpJson() must only run while no other thread is mutating
+ * live groups (e.g. after a sweep batch has drained).
  */
 class MetricsRegistry
 {
   public:
     static MetricsRegistry &instance();
 
-    /** Live groups in registration order. */
-    const std::vector<const StatGroup *> &groups() const
-    { return _groups; }
+    /** Snapshot of the live groups, in registration order. */
+    std::vector<const StatGroup *> groups() const FP_EXCLUDES(_mu);
 
     /** Serialize all live groups as one JSON array of group objects. */
-    void dumpJson(JsonWriter &json) const;
+    void dumpJson(JsonWriter &json) const FP_EXCLUDES(_mu);
 
   private:
     friend class StatGroup;
 
-    void add(const StatGroup *group);
-    void remove(const StatGroup *group);
+    void add(const StatGroup *group) FP_EXCLUDES(_mu);
+    void remove(const StatGroup *group) FP_EXCLUDES(_mu);
 
-    std::vector<const StatGroup *> _groups;
+    mutable fp::Mutex _mu;
+    std::vector<const StatGroup *> _groups FP_GUARDED_BY(_mu);
 };
 
 } // namespace fp::common

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Annotated synchronization primitives and the thread pool.
+ *
+ * This is the ONLY file in the tree allowed to use raw standard-library
+ * concurrency (`std::mutex`, `std::thread`, ...); everything else goes
+ * through the wrappers here so that Clang's Thread Safety Analysis
+ * (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) sees every
+ * lock the simulator takes. The `raw-concurrency` rule in
+ * tools/fp_lint.py enforces the boundary lexically, and the CI
+ * `thread-safety` job compiles the whole tree with
+ * `-Wthread-safety -Werror=thread-safety` so an unguarded access to an
+ * FP_GUARDED_BY member is a build error, not a TSan roll of the dice.
+ *
+ * Under GCC (which has no thread-safety attributes) the annotation
+ * macros expand to nothing and the wrappers are plain forwarding
+ * shims, so the default build is unaffected.
+ *
+ * Conventions (docs/thread_safety.md):
+ *  - every mutable object reachable from more than one thread is a
+ *    member annotated FP_GUARDED_BY(<its fp::Mutex>);
+ *  - public member functions lock internally and are annotated
+ *    FP_EXCLUDES(mu); internal helpers that expect the caller to hold
+ *    the lock are annotated FP_REQUIRES(mu);
+ *  - data confined to one thread (thread_local, or owned by a single
+ *    simulation worker) is not annotated - confinement, not locking,
+ *    is its thread-safety argument, stated in a comment.
+ */
+
+#ifndef FP_COMMON_SYNC_H
+#define FP_COMMON_SYNC_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+// ---- Clang thread-safety annotation macros ----------------------------
+//
+// FP_THREAD_ANNOTATION expands to the attribute under Clang and to
+// nothing elsewhere; the named macros below are the only spellings the
+// rest of the tree uses.
+
+#if defined(__clang__)
+#define FP_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FP_THREAD_ANNOTATION(x)
+#endif
+
+/** Marks a class as a lockable capability ("mutex"). */
+#define FP_CAPABILITY(x) FP_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII class that acquires in its ctor, releases in its dtor. */
+#define FP_SCOPED_CAPABILITY FP_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while holding mutex @p x. */
+#define FP_GUARDED_BY(x) FP_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose pointee is guarded by mutex @p x. */
+#define FP_PT_GUARDED_BY(x) FP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function requires the caller to already hold the listed mutexes. */
+#define FP_REQUIRES(...)                                                     \
+    FP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function acquires the listed mutexes and holds them on return. */
+#define FP_ACQUIRE(...)                                                      \
+    FP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the listed mutexes (held on entry). */
+#define FP_RELEASE(...)                                                      \
+    FP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function acquires the mutex iff it returns @p ret. */
+#define FP_TRY_ACQUIRE(ret, ...)                                             \
+    FP_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/** Caller must NOT hold the listed mutexes (deadlock prevention). */
+#define FP_EXCLUDES(...) FP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Function returns a reference to the mutex guarding its result. */
+#define FP_RETURN_CAPABILITY(x) FP_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: disable analysis for one function (justify in a comment). */
+#define FP_NO_THREAD_SAFETY_ANALYSIS                                         \
+    FP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace fp {
+
+/**
+ * An annotated standard mutex. Non-recursive; locking it twice on one
+ * thread deadlocks (and the analysis rejects it statically).
+ */
+class FP_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() FP_ACQUIRE() { _m.lock(); }
+    void unlock() FP_RELEASE() { _m.unlock(); }
+    bool try_lock() FP_TRY_ACQUIRE(true) { return _m.try_lock(); }
+
+  private:
+    friend class CondVar;
+    std::mutex _m;
+};
+
+/**
+ * RAII lock over an fp::Mutex (the analysis-aware std::lock_guard).
+ * Scope it tightly: the analyzer treats the guarded region as exactly
+ * the lifetime of this object.
+ */
+class FP_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) FP_ACQUIRE(mu) : _mu(mu) { _mu.lock(); }
+    ~MutexLock() FP_RELEASE() { _mu.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &_mu;
+};
+
+/**
+ * Condition variable over fp::Mutex. wait() must be called with the
+ * mutex held (enforced statically via FP_REQUIRES); as always, re-check
+ * the predicate in a loop after waking.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /**
+     * Atomically release @p mu and block; reacquires before returning.
+     * The analysis sees the capability as held across the call, which
+     * matches the caller's view (held before, held after).
+     */
+    void
+    wait(Mutex &mu) FP_REQUIRES(mu)
+    {
+        std::unique_lock<std::mutex> relock(mu._m, std::adopt_lock);
+        _cv.wait(relock);
+        relock.release();
+    }
+
+    void notify_one() { _cv.notify_one(); }
+    void notify_all() { _cv.notify_all(); }
+
+  private:
+    std::condition_variable _cv;
+};
+
+/**
+ * A fixed-size worker pool for fanning out independent, deterministic
+ * jobs (the sweep runner's engine). Tasks must not assume any execution
+ * order; determinism comes from writing results into index-addressed
+ * slots, never from scheduling.
+ *
+ * A pool of size() <= 1 runs everything inline on the calling thread,
+ * so serial and parallel configurations share one code path and the
+ * serial path has zero threading overhead.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @p threads worker threads; 0 and 1 both mean "no workers, run
+     * inline". The pool is reusable across parallelFor() batches.
+     */
+    explicit ThreadPool(unsigned threads)
+    {
+        for (unsigned i = 1; i < threads; ++i)
+            _workers.emplace_back([this] { workerLoop(); });
+        // With N >= 2 requested, N-1 workers plus the calling thread
+        // (which joins in during parallelFor) give N lanes total.
+        _lanes = threads > 1 ? threads : 1;
+    }
+
+    ~ThreadPool()
+    {
+        {
+            MutexLock lock(_mu);
+            _stop = true;
+        }
+        _work_ready.notify_all();
+        for (std::thread &worker : _workers)
+            worker.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Parallel lanes available, including the calling thread. */
+    unsigned size() const { return _lanes; }
+
+    /**
+     * Run fn(0) .. fn(n-1), fanning across the workers plus the calling
+     * thread; returns when all n calls finished. If any call throws,
+     * the first exception (in completion order) is rethrown here after
+     * the batch drains; the remaining indices still run.
+     *
+     * With size() <= 1 (or n <= 1) the calls run inline, in index
+     * order, on the calling thread - the deterministic serial path.
+     */
+    void
+    parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
+    {
+        if (_lanes <= 1 || n <= 1) {
+            for (std::size_t i = 0; i < n; ++i)
+                fn(i);
+            return;
+        }
+        {
+            MutexLock lock(_mu);
+            fp_assert(!_batch_active,
+                      "ThreadPool::parallelFor is not reentrant");
+            _batch_active = true;
+            _fn = &fn;
+            _next = 0;
+            _limit = n;
+            _in_flight = 0;
+        }
+        _work_ready.notify_all();
+        drainBatch();
+        std::exception_ptr error;
+        {
+            MutexLock lock(_mu);
+            while (_in_flight != 0)
+                _batch_done.wait(_mu);
+            _batch_active = false;
+            _fn = nullptr;
+            error = std::exchange(_error, nullptr);
+        }
+        if (error)
+            std::rethrow_exception(error);
+    }
+
+  private:
+    /** Claim and run batch indices until the batch is exhausted. */
+    void
+    drainBatch() FP_EXCLUDES(_mu)
+    {
+        for (;;) {
+            const std::function<void(std::size_t)> *fn = nullptr;
+            std::size_t index = 0;
+            {
+                MutexLock lock(_mu);
+                if (!_batch_active || _next >= _limit)
+                    return;
+                index = _next++;
+                ++_in_flight;
+                fn = _fn;
+            }
+            try {
+                (*fn)(index);
+            } catch (...) {
+                MutexLock lock(_mu);
+                if (!_error)
+                    _error = std::current_exception();
+            }
+            {
+                MutexLock lock(_mu);
+                --_in_flight;
+                if (_in_flight == 0 && _next >= _limit)
+                    _batch_done.notify_all();
+            }
+        }
+    }
+
+    void
+    workerLoop() FP_EXCLUDES(_mu)
+    {
+        for (;;) {
+            {
+                MutexLock lock(_mu);
+                while (!_stop && (!_batch_active || _next >= _limit))
+                    _work_ready.wait(_mu);
+                if (_stop)
+                    return;
+            }
+            drainBatch();
+        }
+    }
+
+    std::vector<std::thread> _workers;
+    unsigned _lanes = 1;
+
+    Mutex _mu;
+    CondVar _work_ready;
+    CondVar _batch_done;
+    bool _stop FP_GUARDED_BY(_mu) = false;
+    bool _batch_active FP_GUARDED_BY(_mu) = false;
+    const std::function<void(std::size_t)> *_fn FP_GUARDED_BY(_mu) =
+        nullptr;
+    std::size_t _next FP_GUARDED_BY(_mu) = 0;
+    std::size_t _limit FP_GUARDED_BY(_mu) = 0;
+    std::size_t _in_flight FP_GUARDED_BY(_mu) = 0;
+    std::exception_ptr _error FP_GUARDED_BY(_mu);
+};
+
+} // namespace fp
+
+#endif // FP_COMMON_SYNC_H

@@ -61,8 +61,36 @@ LatencyCollector::initHistogram(common::Histogram &hist)
     hist.init(_edges);
 }
 
+std::uint64_t
+LatencyCollector::messages() const
+{
+    fp::MutexLock lock(_mu);
+    return static_cast<std::uint64_t>(_messages.value());
+}
+
+std::uint64_t
+LatencyCollector::stores() const
+{
+    fp::MutexLock lock(_mu);
+    return static_cast<std::uint64_t>(_stores.value());
+}
+
+std::uint64_t
+LatencyCollector::violations() const
+{
+    fp::MutexLock lock(_mu);
+    return static_cast<std::uint64_t>(_violations.value());
+}
+
 void
 LatencyCollector::beginRun(std::uint32_t num_gpus)
+{
+    fp::MutexLock lock(_mu);
+    rebuildLocked(num_gpus);
+}
+
+void
+LatencyCollector::rebuildLocked(std::uint32_t num_gpus)
 {
     _dst.clear();
     _group.reset();
@@ -148,6 +176,7 @@ LatencyCollector::record(GpuId dst, const MsgTimestamps &t, Tick arrival,
                          Tick commit, const StoreStamp *stamps,
                          std::size_t count)
 {
+    fp::MutexLock lock(_mu);
     bool stamped = t.created != no_stamp && t.tx_start != no_stamp
         && t.tx_end != no_stamp;
     bool monotonic = stamped && t.created <= t.tx_start

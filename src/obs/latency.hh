@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/sync.h"
 #include "common/types.hh"
 
 namespace fp::obs {
@@ -77,6 +78,13 @@ struct MsgTimestamps
  * residency-by-flush-reason and total-by-size-class breakdowns) and
  * one "latency.dst<g>" group per destination GPU. All values are in
  * ticks (picoseconds); buckets are powers of two from 4 ns to ~68 ms.
+ *
+ * Thread safety: beginRun() and record() serialize on an internal
+ * fp::Mutex, so a collector may be fed from concurrent ingress ports
+ * (future parallel DES shards). The histogram accessors return
+ * references without locking: read them only once the run has
+ * quiesced (no record() in flight), which is when the driver and the
+ * tests consult them.
  */
 class LatencyCollector
 {
@@ -87,7 +95,7 @@ class LatencyCollector
     LatencyCollector &operator=(const LatencyCollector &) = delete;
 
     /** Reset and (re)build the per-destination groups for a run. */
-    void beginRun(std::uint32_t num_gpus);
+    void beginRun(std::uint32_t num_gpus) FP_EXCLUDES(_mu);
 
     /**
      * Record one delivered message. @p stamps may be empty (DMA /
@@ -95,16 +103,15 @@ class LatencyCollector
      * contribute the message-level stages).
      */
     void record(GpuId dst, const MsgTimestamps &t, Tick arrival,
-                Tick commit, const StoreStamp *stamps, std::size_t count);
+                Tick commit, const StoreStamp *stamps,
+                std::size_t count) FP_EXCLUDES(_mu);
 
-    std::uint64_t messages() const
-    { return static_cast<std::uint64_t>(_messages.value()); }
-    std::uint64_t stores() const
-    { return static_cast<std::uint64_t>(_stores.value()); }
+    std::uint64_t messages() const FP_EXCLUDES(_mu);
+    std::uint64_t stores() const FP_EXCLUDES(_mu);
     /** Messages dropped for missing / non-monotonic milestones. */
-    std::uint64_t violations() const
-    { return static_cast<std::uint64_t>(_violations.value()); }
+    std::uint64_t violations() const FP_EXCLUDES(_mu);
 
+    // Stage histograms: quiescent-read only (see class comment).
     const common::Histogram &residency() const { return _residency; }
     const common::Histogram &serialization() const { return _serialization; }
     const common::Histogram &propagation() const { return _propagation; }
@@ -124,11 +131,16 @@ class LatencyCollector
     };
 
     void initHistogram(common::Histogram &hist);
+    void rebuildLocked(std::uint32_t num_gpus) FP_REQUIRES(_mu);
 
+    mutable fp::Mutex _mu;
     std::unique_ptr<common::StatGroup> _group;
-    common::Scalar _messages;
-    common::Scalar _stores;
-    common::Scalar _violations;
+    common::Scalar _messages FP_GUARDED_BY(_mu);
+    common::Scalar _stores FP_GUARDED_BY(_mu);
+    common::Scalar _violations FP_GUARDED_BY(_mu);
+    // Histograms and per-destination groups are mutated only under
+    // _mu (record/beginRun); the unlocked accessors above require the
+    // run to have quiesced, so they stay unannotated by design.
     common::Histogram _residency;
     common::Histogram _serialization;
     common::Histogram _propagation;
@@ -138,7 +150,7 @@ class LatencyCollector
     std::vector<common::Histogram> _residency_by_reason;
     /** Store end-to-end latency by size class (<=4 B .. <=128 B). */
     std::vector<common::Histogram> _total_by_size;
-    std::vector<DstStats> _dst;
+    std::vector<DstStats> _dst FP_GUARDED_BY(_mu);
     std::vector<double> _edges;
 };
 

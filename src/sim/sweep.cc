@@ -1,0 +1,36 @@
+#include "sim/sweep.hh"
+
+#include <cstdlib>
+
+#include "sim/trace_cache.hh"
+
+namespace fp::sim {
+
+unsigned
+SweepRunner::defaultJobs()
+{
+    if (const char *env = std::getenv("FINEPACK_BENCH_JOBS")) {
+        int parsed = std::atoi(env);
+        if (parsed > 0)
+            return static_cast<unsigned>(parsed);
+    }
+    return 1;
+}
+
+SweepRunner::SweepRunner(unsigned jobs) : _pool(jobs) {}
+
+std::vector<RunResult>
+SweepRunner::run(const std::vector<SweepJob> &batch)
+{
+    std::vector<RunResult> results(batch.size());
+    _pool.parallelFor(batch.size(), [&](std::size_t i) {
+        const SweepJob &job = batch[i];
+        const trace::WorkloadTrace &trace =
+            TraceCache::instance().get(job.workload, job.params);
+        SimulationDriver driver(job.config);
+        results[i] = driver.run(trace, job.paradigm);
+    });
+    return results;
+}
+
+} // namespace fp::sim

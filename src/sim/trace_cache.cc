@@ -1,25 +1,76 @@
 #include "sim/trace_cache.hh"
 
+#include <bit>
+
+#include "check/digest.hh"
+
 namespace fp::sim {
 
 TraceCache &
 TraceCache::instance()
 {
+    // The trace map is FP_GUARDED_BY the cache's fp::Mutex.
+    // fp-lint: allow(global-state) internally synchronized
     static TraceCache cache;
     return cache;
+}
+
+std::uint64_t
+TraceCache::digest(const std::string &workload,
+                   const workloads::WorkloadParams &params)
+{
+    check::Digest d;
+    d.update(workload);
+    d.updateByte(0); // terminate the name so "ab"+1 != "a"+"b1"
+    d.updateU64(params.num_gpus);
+    d.updateU64(std::bit_cast<std::uint64_t>(params.scale));
+    d.updateU64(params.seed);
+    return d.value();
 }
 
 const trace::WorkloadTrace &
 TraceCache::get(const std::string &workload,
                 const workloads::WorkloadParams &params)
 {
-    Key key{workload, params.num_gpus, params.scale, params.seed};
-    auto it = _traces.find(key);
-    if (it == _traces.end()) {
-        auto instance = workloads::createWorkload(workload);
-        it = _traces.emplace(key, instance->generateTrace(params)).first;
+    const std::uint64_t key = digest(workload, params);
+    {
+        fp::MutexLock lock(_mu);
+        for (;;) {
+            auto it = _traces.find(key);
+            if (it == _traces.end()) {
+                // Claim the slot: a null entry tells later requesters
+                // that generation is already under way.
+                _traces.emplace(key, nullptr);
+                break;
+            }
+            if (it->second)
+                return *it->second;
+            // Another thread is generating this trace; wait for it to
+            // publish (or abandon) the entry.
+            _published.wait(_mu);
+        }
     }
-    return it->second;
+
+    // Generate outside the lock so distinct traces build in parallel.
+    std::unique_ptr<trace::WorkloadTrace> generated;
+    try {
+        auto instance = workloads::createWorkload(workload);
+        generated = std::make_unique<trace::WorkloadTrace>(
+            instance->generateTrace(params));
+    } catch (...) {
+        // Abandon the claim so waiters retry (and typically rethrow
+        // the same error from their own generation attempt).
+        fp::MutexLock lock(_mu);
+        _traces.erase(key);
+        _published.notify_all();
+        throw;
+    }
+
+    fp::MutexLock lock(_mu);
+    auto &slot = _traces[key];
+    slot = std::move(generated);
+    _published.notify_all();
+    return *slot;
 }
 
 } // namespace fp::sim

@@ -2,16 +2,27 @@
  * @file
  * In-process cache of generated workload traces. Trace generation runs
  * the actual algorithms, so benches that sweep paradigms or FinePack
- * configurations reuse one trace per (workload, gpus, scale, seed).
+ * configurations reuse one trace per (workload, num_gpus, scale, seed)
+ * configuration, keyed by an FNV-1a digest of those fields.
+ *
+ * Thread safety: the cache is shared by every sweep-runner worker.
+ * Membership is guarded by an fp::Mutex; the first thread to request a
+ * missing configuration claims it and generates outside the lock (so
+ * distinct traces generate in parallel), while threads requesting the
+ * same configuration block on a CondVar until the trace is ready.
+ * Returned references stay valid until clear(): entries are
+ * heap-allocated and immutable once published.
  */
 
 #ifndef FP_SIM_TRACE_CACHE_HH
 #define FP_SIM_TRACE_CACHE_HH
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
-#include <tuple>
 
+#include "common/sync.h"
 #include "trace/trace.hh"
 #include "workloads/workload.hh"
 
@@ -24,19 +35,43 @@ class TraceCache
     /** The process-wide instance used by the bench harnesses. */
     static TraceCache &instance();
 
+    /**
+     * Digest identifying one generated trace: workload name plus every
+     * WorkloadParams field that shapes generation.
+     */
+    static std::uint64_t digest(const std::string &workload,
+                                const workloads::WorkloadParams &params);
+
     /** Get (generating if needed) the trace for a configuration. */
     const trace::WorkloadTrace &
-    get(const std::string &workload, const workloads::WorkloadParams &params);
+    get(const std::string &workload,
+        const workloads::WorkloadParams &params) FP_EXCLUDES(_mu);
 
-    /** Drop all cached traces (frees memory between bench phases). */
-    void clear() { _traces.clear(); }
+    /**
+     * Drop all cached traces (frees memory between bench phases).
+     * Must not run concurrently with get(): callers of get() hold
+     * references into the cache.
+     */
+    void
+    clear() FP_EXCLUDES(_mu)
+    {
+        fp::MutexLock lock(_mu);
+        _traces.clear();
+    }
 
-    std::size_t size() const { return _traces.size(); }
+    std::size_t
+    size() const FP_EXCLUDES(_mu)
+    {
+        fp::MutexLock lock(_mu);
+        return _traces.size();
+    }
 
   private:
-    using Key = std::tuple<std::string, std::uint32_t, double,
-                           std::uint64_t>;
-    std::map<Key, trace::WorkloadTrace> _traces;
+    mutable fp::Mutex _mu;
+    fp::CondVar _published;
+    /** Digest -> trace; a null entry marks a generation in progress. */
+    std::map<std::uint64_t, std::unique_ptr<trace::WorkloadTrace>>
+        _traces FP_GUARDED_BY(_mu);
 };
 
 } // namespace fp::sim

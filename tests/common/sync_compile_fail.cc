@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Negative compile check (Clang only; built by the WILL_FAIL ctest
+ * SyncAnnotations.UnlockedAccessFailsToCompile): writing an
+ * FP_GUARDED_BY member without holding its mutex MUST be rejected by
+ * -Werror=thread-safety. This is the teeth behind every annotation in
+ * the tree -- sync_compile_pass.cc is the identical code with the lock
+ * held, proving the failure below is the analysis and not a build
+ * problem.
+ */
+
+#include "common/sync.h"
+
+namespace {
+
+class Counter
+{
+  public:
+    void
+    bump()
+    {
+        ++_value; // error: writing _value requires holding _mu
+    }
+
+  private:
+    fp::Mutex _mu;
+    int _value FP_GUARDED_BY(_mu) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter counter;
+    counter.bump();
+    return 0;
+}

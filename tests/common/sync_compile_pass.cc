@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Positive twin of sync_compile_fail.cc: the same guarded access with
+ * the lock held must compile cleanly under -Werror=thread-safety,
+ * proving the negative check fails because of the analysis and not an
+ * unrelated build problem.
+ */
+
+#include "common/sync.h"
+
+namespace {
+
+class Counter
+{
+  public:
+    void
+    bump()
+    {
+        fp::MutexLock lock(_mu);
+        ++_value;
+    }
+
+  private:
+    fp::Mutex _mu;
+    int _value FP_GUARDED_BY(_mu) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter counter;
+    counter.bump();
+    return 0;
+}

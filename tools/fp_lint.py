@@ -19,6 +19,23 @@ suspects lexically:
                        first, or waive when the consumer is
                        order-insensitive.
 
+Thread-safety companions to the Clang -Wthread-safety build (see
+docs/thread_safety.md):
+
+  raw-concurrency      raw std concurrency primitives (std::mutex,
+                       std::thread, std::condition_variable, ...,
+                       their headers, and .detach()) anywhere but
+                       common/sync.h. Everything else goes through the
+                       annotated fp::Mutex/MutexLock/CondVar/ThreadPool
+                       wrappers so the static analysis sees every lock.
+  global-state         mutable process-global data -- static locals,
+                       static members, namespace-scope variables --
+                       with no FP_GUARDED_BY annotation. const /
+                       constexpr / thread_local / std::atomic /
+                       fp::Mutex-family declarations are exempt;
+                       anything else needs a guard or a waiver naming
+                       its synchronization story.
+
 Waivers: append `// fp-lint: allow(<rule>) <reason>` to the offending
 line, or place it on the line directly above. Waivers without a reason
 are themselves errors.
@@ -32,7 +49,8 @@ import os
 import re
 import sys
 
-RULES = ("wall-clock", "unseeded-rng", "unordered-iteration")
+RULES = ("wall-clock", "unseeded-rng", "unordered-iteration",
+         "raw-concurrency", "global-state")
 
 WALL_CLOCK = re.compile(
     r"\b(system_clock|steady_clock|high_resolution_clock"
@@ -48,11 +66,57 @@ UNORDERED_DECL = re.compile(
 )
 # Identifier the declaration binds: the first plain identifier after
 # the closing template bracket(s), e.g. `std::unordered_map<K, V> name`
-# or `const std::unordered_set<T> &name`.
-DECL_NAME = re.compile(r">\s*[&*]?\s*([A-Za-z_]\w*)\s*(?:[;={(,)]|$)")
-RANGE_FOR = re.compile(r"\bfor\s*\(.*?:\s*([^)]+)\)")
+# or `const std::unordered_set<T> &name`, optionally followed by an
+# FP_GUARDED_BY / other all-caps annotation macro before the
+# terminator.
+DECL_NAME = re.compile(
+    r">\s*[&*]?\s*([A-Za-z_]\w*)\s*"
+    r"(?:[A-Z_][A-Z0-9_]*\s*\([^)]*\)\s*)?"
+    r"(?:[;={(,)]|$)")
+FOR_HEAD = re.compile(r"\bfor\s*\(")
 LAST_IDENT = re.compile(r"([A-Za-z_]\w*)\s*$")
 WAIVER = re.compile(r"//\s*fp-lint:\s*allow\(([a-z-]+)\)\s*(.*)")
+
+# Raw std concurrency primitives; only common/sync.h may use them, so
+# every lock/thread in the tree carries Clang thread-safety
+# annotations. `.detach()` is banned outright (detached threads outlive
+# the scopes the analysis reasons about).
+RAW_CONCURRENCY = re.compile(
+    r"\bstd::(?:recursive_mutex|shared_timed_mutex|shared_mutex"
+    r"|timed_mutex|mutex"
+    r"|condition_variable_any|condition_variable"
+    r"|jthread|thread|async|lock_guard|unique_lock|scoped_lock"
+    r"|shared_lock|future|promise|packaged_task|barrier|latch"
+    r"|counting_semaphore|binary_semaphore|stop_token|stop_source)\b"
+    r"|\.\s*detach\s*\(\s*\)"
+)
+CONCURRENCY_INCLUDE = re.compile(
+    r"#\s*include\s*<(?:mutex|shared_mutex|condition_variable|thread"
+    r"|future|barrier|latch|semaphore|stop_token)>"
+)
+
+# Mutable `static` data (local statics and static members): the name
+# must be followed directly by `;`, `=` or `{`, so function
+# declarations (`static void f();`) and FP_GUARDED_BY-annotated
+# members never match.
+STATIC_DECL = re.compile(
+    r"\bstatic\s+(?!const\b|constexpr\b|constinit\b|thread_local\b)"
+    r"[^=;(){]*?([A-Za-z_]\w*)\s*(?:=|;|\{)"
+)
+# Candidate namespace-scope variable: type tokens then a name, ending
+# in `;`, `=` or a braced initializer. Only consulted on lines the
+# scope scanner places at namespace scope.
+NS_VAR = re.compile(
+    r"^\s*(?:[\w:]+(?:<[^;]*>)?[\s&*]+)+([A-Za-z_]\w*)\s*"
+    r"(?:=|;|\{[^{}]*\}\s*;)")
+# Declarations that are safe by construction: immutable, confined, or
+# internally synchronized primitives from common/sync.h.
+GLOBAL_STATE_EXEMPT = re.compile(
+    r"\b(?:const|constexpr|consteval|constinit|thread_local|using"
+    r"|typedef|extern|friend|return|namespace|class|struct|enum"
+    r"|template|operator|atomic|atomic_\w+)\b"
+    r"|\bfp::(?:Mutex|CondVar|ThreadPool)\b"
+    r"|\bFP_GUARDED_BY\b")
 
 LINE_COMMENT = re.compile(r"//(?!\s*fp-lint:).*$")
 STRING = re.compile(r'"(?:[^"\\]|\\.)*"')
@@ -76,28 +140,116 @@ def strip_noise(line):
 
 
 def unordered_names(lines):
-    """Identifiers declared with an unordered container type in-file."""
+    """Identifiers declared with an unordered container type in-file.
+
+    Declarations may wrap: a member like
+        std::unordered_map<Key,
+                           Value> _name FP_GUARDED_BY(_mu);
+    spans lines, so when the template bracket list is unbalanced at the
+    end of a line the following lines are folded in (bounded, so a
+    stray '<' cannot make the scan quadratic).
+    """
     names = set()
-    for raw in lines:
+    for idx, raw in enumerate(lines):
         line = strip_noise(raw)
         m = UNORDERED_DECL.search(line)
         if not m:
             continue
-        # Walk to the matching '>' of the template argument list, then
-        # pull the declared name that follows.
-        depth, i = 0, m.end() - 1
-        while i < len(line):
-            if line[i] == "<":
-                depth += 1
-            elif line[i] == ">":
-                depth -= 1
-                if depth == 0:
-                    break
-            i += 1
-        name = DECL_NAME.search(line[i:])
+        # Fold continuation lines until the template brackets balance.
+        for joined in lines[idx + 1:idx + 6]:
+            if template_close(line, m.end() - 1) is not None:
+                break
+            line = line + " " + strip_noise(joined)
+        close = template_close(line, m.end() - 1)
+        if close is None:
+            continue
+        name = DECL_NAME.search(line[close:])
         if name:
             names.add(name.group(1))
     return names
+
+
+def template_close(line, start):
+    """Index of the '>' matching the '<' at/after start, else None."""
+    depth = 0
+    for i in range(start, len(line)):
+        if line[i] == "<":
+            depth += 1
+        elif line[i] == ">":
+            depth -= 1
+            if depth == 0:
+                return i
+    return None
+
+
+def range_for_expr(line):
+    """The range expression of a range-for on this line, or None.
+
+    Walks the for-header with balanced parentheses, so calls inside
+    the range expression -- `for (auto &v : view(a, b))` -- do not
+    truncate it at the first ')' the way a regex scan would.
+    """
+    m = FOR_HEAD.search(line)
+    if not m:
+        return None
+    depth, colon, i = 1, None, m.end()
+    while i < len(line):
+        c = line[i]
+        if c == "(" or c == "[":
+            depth += 1
+        elif c == ")" or c == "]":
+            depth -= 1
+            if depth == 0:
+                if colon is None:
+                    return None
+                return line[colon + 1:i].strip()
+        elif c == ":" and depth == 1 and colon is None:
+            if i + 1 < len(line) and line[i + 1] == ":":
+                i += 2  # scope operator, not the range colon
+                continue
+            colon = i
+        i += 1
+    return None  # header continues past this line; out of scope
+
+
+def namespace_scope_mask(lines):
+    """mask[i]: line i *starts* at namespace (or file) scope.
+
+    Tracks the brace stack, classifying each '{' by the declaration
+    head before it: namespace braces keep namespace scope; class /
+    function / initializer braces leave it.
+    """
+    mask = []
+    stack = []  # True per open brace that preserves namespace scope
+    head = ""   # text since the last ';' / '{' / '}'
+    parens = 0  # unbalanced '(': inside a parameter / argument list
+    for raw in lines:
+        mask.append(all(stack) and parens == 0)
+        for c in strip_noise(raw):
+            if c == "(":
+                parens += 1
+            elif c == ")":
+                parens = max(0, parens - 1)
+            elif c == "{":
+                is_ns = re.search(r"\bnamespace\b", head) is not None \
+                    and "=" not in head
+                stack.append(is_ns)
+                head = ""
+            elif c == "}":
+                if stack:
+                    stack.pop()
+                head = ""
+            elif c == ";":
+                head = ""
+            else:
+                head += c
+        head += " "  # newline separates tokens
+    return mask
+
+
+def is_sync_header(path):
+    """common/sync.h is the one file allowed raw std concurrency."""
+    return path.replace(os.sep, "/").endswith("common/sync.h")
 
 
 def waiver_for(lines, idx):
@@ -127,6 +279,9 @@ def lint_file(path, findings):
                           errors="replace") as f:
                     containers |= unordered_names(f.read().splitlines())
 
+    allow_raw = is_sync_header(path)
+    ns_scope = namespace_scope_mask(lines)
+
     for idx, raw in enumerate(lines):
         line = strip_noise(raw)
         hits = []
@@ -137,14 +292,30 @@ def lint_file(path, findings):
             hits.append(("unseeded-rng",
                          "nondeterministically-seeded randomness "
                          "(use common::Rng with an explicit seed)"))
-        m = RANGE_FOR.search(line)
-        if m:
-            ident = LAST_IDENT.search(m.group(1).strip())
+        expr = range_for_expr(line)
+        if expr is not None:
+            ident = LAST_IDENT.search(expr)
             if ident and ident.group(1) in containers:
                 hits.append(("unordered-iteration",
                              f"range-for over unordered container "
                              f"'{ident.group(1)}' "
                              "(implementation-defined order)"))
+        if not allow_raw and (RAW_CONCURRENCY.search(line)
+                              or CONCURRENCY_INCLUDE.search(raw)):
+            hits.append(("raw-concurrency",
+                         "raw std concurrency primitive (use the "
+                         "annotated fp::Mutex / MutexLock / CondVar / "
+                         "ThreadPool from common/sync.h)"))
+        if not GLOBAL_STATE_EXEMPT.search(line):
+            m = STATIC_DECL.search(line)
+            if not m and ns_scope[idx] and "(" not in line:
+                m = NS_VAR.search(line)
+            if m:
+                hits.append(("global-state",
+                             f"mutable process-global state "
+                             f"'{m.group(1)}' without FP_GUARDED_BY "
+                             "(annotate, confine, or waive with its "
+                             "synchronization story)"))
         if not hits:
             continue
         waiver = waiver_for(lines, idx)

@@ -2,7 +2,13 @@
 # Refresh bench/baselines/: run every JSON-capable bench at the canonical
 # baseline scale and record its output via fp_bench_compare.py --update.
 #
-# Usage: tools/record_baselines.sh [BUILD_DIR]
+# Usage: tools/record_baselines.sh [-j N] [BUILD_DIR]
+#
+# -j N fans each bench's independent simulations across N in-process
+# sweep lanes (exported as FINEPACK_BENCH_JOBS; see sim::SweepRunner).
+# Results are aggregated by sweep index, so the recorded JSON is
+# byte-identical whatever N is; the default of 1 is the serial
+# reference order.
 #
 # Trace-driven benches run at FINEPACK_BENCH_SCALE=0.1 to keep the refresh
 # (and the CI perf-smoke job that replays fig02 at the same scale) fast;
@@ -12,12 +18,22 @@
 
 set -euo pipefail
 
+jobs=1
+while getopts "j:" opt; do
+    case "$opt" in
+      j) jobs="$OPTARG" ;;
+      *) echo "usage: $0 [-j N] [BUILD_DIR]" >&2; exit 2 ;;
+    esac
+done
+shift $((OPTIND - 1))
+
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 out_dir="$(mktemp -d)"
 trap 'rm -rf "$out_dir"' EXIT
 
 export FINEPACK_BENCH_SCALE=0.1
+export FINEPACK_BENCH_JOBS="$jobs"
 
 benches=(
     fig02_goodput
