@@ -12,6 +12,7 @@
 #ifndef FP_BENCH_BENCH_COMMON_HH
 #define FP_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -103,13 +104,27 @@ mean(const std::vector<double> &values)
  * alongside the human-readable tables on stdout. Without the flag the
  * reporter is inert. Metric names are sorted in the output, so two
  * runs of the same bench are diffable.
+ *
+ * Every enabled reporter also emits simulator-throughput metrics under
+ * the reserved `host.` prefix (host.wall_ns, host.events,
+ * host.events_per_sec), measured from construction to write() via
+ * sim::totalHostEventsProcessed(). They track ROADMAP item 1's "make
+ * the simulator fast" progress over time but are machine-dependent, so
+ * fp_bench_compare.py excludes them from regression checks by default
+ * (--include-host opts in) and the CI serial-vs-parallel comparison
+ * strips them.
  */
 class JsonReporter
 {
   public:
     JsonReporter(const std::string &bench, int argc, char **argv,
                  double scale)
-        : _bench(bench), _scale(scale)
+        : _bench(bench), _scale(scale),
+          // Wall-clock is fine here: bench binaries are not simulation
+          // code (fp_lint covers src/ only) and host.* metrics are
+          // machine-dependent by design.
+          _start(std::chrono::steady_clock::now()),
+          _events_base(sim::totalHostEventsProcessed())
     {
         for (int i = 0; i + 1 < argc; ++i)
             if (std::strcmp(argv[i], "--json") == 0)
@@ -133,6 +148,17 @@ class JsonReporter
             std::cerr << "cannot open " << _path << " for writing\n";
             return false;
         }
+        auto wall_ns = static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - _start)
+                .count());
+        auto events = static_cast<double>(
+            sim::totalHostEventsProcessed() - _events_base);
+        std::map<std::string, double> metrics = _metrics;
+        metrics["host.wall_ns"] = wall_ns;
+        metrics["host.events"] = events;
+        metrics["host.events_per_sec"] =
+            wall_ns > 0.0 ? events / (wall_ns / 1e9) : 0.0;
         common::JsonWriter json(out);
         json.beginObject();
         json.kv("bench", _bench);
@@ -141,7 +167,7 @@ class JsonReporter
         json.kv("scale", _scale);
         json.key("metrics");
         json.beginObject();
-        for (const auto &[name, value] : _metrics)
+        for (const auto &[name, value] : metrics)
             json.kv(name, value);
         json.endObject();
         json.endObject();
@@ -154,6 +180,8 @@ class JsonReporter
     std::string _bench;
     std::string _path;
     double _scale;
+    std::chrono::steady_clock::time_point _start;
+    std::uint64_t _events_base;
     std::map<std::string, double> _metrics;
 };
 

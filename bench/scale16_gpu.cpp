@@ -11,7 +11,7 @@
 #include "finepack/remote_write_queue.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace fp;
     using namespace fp::bench;
@@ -19,6 +19,7 @@ main()
 
     double scale = benchScale(0.5);
     const std::uint32_t gpus = 16;
+    JsonReporter reporter("scale16_gpu", argc, argv, scale);
 
     sim::SimConfig config;
     config.pcie_gen = icn::PcieGen::gen6;
@@ -45,10 +46,18 @@ main()
             all[p].push_back(result[p]);
     }
     std::vector<std::string> geo_row{"geomean"};
-    for (Paradigm p : paradigms)
+    for (Paradigm p : paradigms) {
         geo_row.push_back(common::Table::num(geomean(all[p]), 2));
+        reporter.add(std::string("geomean.") + sim::toString(p),
+                     geomean(all[p]));
+    }
     table.addRow(std::move(geo_row));
     table.print(std::cout);
+
+    for (const std::string &app : apps())
+        for (Paradigm p : paradigms)
+            reporter.add("speedup." + app + "." + sim::toString(p),
+                         by_app[app][p]);
 
     std::vector<double> fp_over_p2p, fp_over_dma;
     for (std::size_t i = 0; i < apps().size(); ++i) {
@@ -73,5 +82,9 @@ main()
               << sram_kb
               << "KB of line data (15 partitions x 64 x 128B; "
                  "+15KB of byte enables)\n";
-    return 0;
+
+    reporter.add("ratio.finepack_over_p2p", mean(fp_over_p2p));
+    reporter.add("ratio.finepack_over_dma", mean(fp_over_dma));
+    reporter.add("rwq_sram_kb", static_cast<double>(sram_kb));
+    return reporter.write() ? 0 : 1;
 }

@@ -83,6 +83,8 @@ class RaceDetector : public common::EventQueueObserver
     void endEvent(const common::Event &event) override;
     void recordAccess(const void *resource, const char *label,
                       bool is_write) override;
+    /** The detector consumes logical accesses (see AccessRecorder). */
+    bool wantsAccesses() const override { return true; }
 
     /**
      * Analyze the trailing batch. Call after the run completes (the

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Coarse allocation counters for the simulation hot paths.
+ *
+ * ROADMAP item 1 targets arena/pool allocation for events and wire
+ * messages; these counters are the "before" instrument: they count how
+ * many queue-owned lambda events and heap-allocated wire messages a run
+ * creates, so the profiler report shows what a pool would amortize.
+ *
+ * The counters are process-wide atomics gated on an activation count:
+ * when no obs::Profiler run is in flight (`active == 0`, every normal
+ * run) each hook is one relaxed load and a predictable branch. They are
+ * deliberately coarse - under a parallel sweep (sim::SweepRunner) all
+ * shards fold into the same totals - because they inform "is allocation
+ * a hotspot at all", not per-shard attribution.
+ */
+
+#ifndef FP_COMMON_ALLOC_COUNTERS_HH
+#define FP_COMMON_ALLOC_COUNTERS_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace fp::common {
+
+struct AllocCounters
+{
+    /** Number of obs::Profiler runs currently collecting (0 = off). */
+    inline static std::atomic<int> active{0};
+
+    /** Queue-owned LambdaEvent allocations (EventQueue::schedule(fn)). */
+    inline static std::atomic<std::uint64_t> lambda_events{0};
+
+    /** icn::WireMessage heap allocations (icn::makeWireMessage()). */
+    inline static std::atomic<std::uint64_t> wire_messages{0};
+
+    static void
+    countLambdaEvent()
+    {
+        if (active.load(std::memory_order_relaxed) > 0)
+            lambda_events.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    static void
+    countWireMessage()
+    {
+        if (active.load(std::memory_order_relaxed) > 0)
+            wire_messages.fetch_add(1, std::memory_order_relaxed);
+    }
+};
+
+} // namespace fp::common
+
+#endif // FP_COMMON_ALLOC_COUNTERS_HH

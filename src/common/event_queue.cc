@@ -44,6 +44,61 @@ EventQueue::schedule(Event *event, Tick when)
                  : event->_sequence;
     _queue.push(Entry{when, event->priority(), tie_key, event->_sequence,
                       event});
+    if (_queue.size() > _peak_depth)
+        _peak_depth = _queue.size();
+}
+
+void
+EventQueue::addObserver(EventQueueObserver *observer)
+{
+    fp_assert(observer != nullptr, "cannot attach null observer");
+    fp_assert(std::find(_observers.begin(), _observers.end(), observer) ==
+                  _observers.end(),
+              "observer already attached");
+    _observers.push_back(observer);
+    refreshAccessObserver();
+}
+
+void
+EventQueue::removeObserver(EventQueueObserver *observer)
+{
+    std::erase(_observers, observer);
+    refreshAccessObserver();
+}
+
+void
+EventQueue::setObserver(EventQueueObserver *observer)
+{
+    _observers.clear();
+    if (observer)
+        _observers.push_back(observer);
+    refreshAccessObserver();
+}
+
+void
+EventQueue::refreshAccessObserver()
+{
+    _access_observer = nullptr;
+    for (auto it = _observers.rbegin(); it != _observers.rend(); ++it) {
+        if ((*it)->wantsAccesses()) {
+            _access_observer = *it;
+            break;
+        }
+    }
+}
+
+void
+EventQueue::notifyBegin(const Event &event)
+{
+    for (EventQueueObserver *observer : _observers)
+        observer->beginEvent(event);
+}
+
+void
+EventQueue::notifyEnd(const Event &event)
+{
+    for (EventQueueObserver *observer : _observers)
+        observer->endEvent(event);
 }
 
 void
@@ -74,8 +129,10 @@ EventQueue::reschedule(Event *event, Tick when)
 void
 EventQueue::pruneStale()
 {
-    while (!_queue.empty() && isStale(_queue.top()))
+    while (!_queue.empty() && isStale(_queue.top())) {
         _queue.pop();
+        ++_stale_drops;
+    }
 }
 
 Tick
@@ -103,11 +160,16 @@ EventQueue::step()
     Event *event = top.event;
     event->_scheduled = false;
     ++_processed;
-    if (_observer)
-        _observer->beginEvent(*event);
-    event->process();
-    if (_observer)
-        _observer->endEvent(*event);
+    // The hottest branch in the repo: with no observers attached (every
+    // normal run) dispatch is a single emptiness test - no virtual
+    // calls, no vector iteration.
+    if (_observers.empty()) [[likely]] {
+        event->process();
+    } else {
+        notifyBegin(*event);
+        event->process();
+        notifyEnd(*event);
+    }
     collectGarbage();
     return true;
 }

@@ -22,6 +22,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/alloc_counters.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
 
@@ -59,7 +60,12 @@ class Event
     /** Invoked when simulated time reaches the scheduled tick. */
     virtual void process() = 0;
 
-    /** Human-readable label for debugging. */
+    /**
+     * Human-readable label for debugging and host-side profiling.
+     * Must be a string literal (or otherwise outlive the queue): the
+     * self-profiler aggregates handler time by this pointer without
+     * copying, so a dangling label would corrupt the hotspot report.
+     */
     virtual const char *description() const { return "generic event"; }
 
     bool scheduled() const { return _scheduled; }
@@ -90,27 +96,36 @@ class Event
 class LambdaEvent : public Event
 {
   public:
-    LambdaEvent(std::function<void()> fn, int priority)
-        : Event(priority), _fn(std::move(fn))
+    LambdaEvent(std::function<void()> fn, int priority,
+                const char *label = "lambda event")
+        : Event(priority), _fn(std::move(fn)), _label(label)
     {}
 
     void process() override { _fn(); }
-    const char *description() const override { return "lambda event"; }
+    const char *description() const override { return _label; }
 
   private:
     std::function<void()> _fn;
+    /** Static attribution label (see Event::description()). */
+    const char *_label;
 };
 
 /**
- * Observes event execution on an EventQueue (at most one per queue).
+ * Observes event execution on an EventQueue.
  *
  * The hooks fire synchronously on the simulation path: beginEvent()
  * immediately before an event's process(), endEvent() immediately
  * after, and recordAccess() whenever code running under the current
  * event declares a logical state access through an AccessRecorder.
- * The determinism tooling (check::RaceDetector) implements this to
- * flag same-(tick, priority) events with conflicting accesses - the
- * outcomes that silently depend on insertion order.
+ * Two kinds of observer implement this today: the determinism tooling
+ * (check::RaceDetector) flags same-(tick, priority) events with
+ * conflicting accesses, and the host-side self-profiler
+ * (obs::Profiler) attributes wall-clock time to event labels.
+ *
+ * Access recording is opt-in: only observers returning true from
+ * wantsAccesses() are visible through EventQueue::observer(), so a
+ * profiler-only run keeps every AccessRecorder on its inert
+ * null-pointer fast path.
  */
 class EventQueueObserver
 {
@@ -128,10 +143,24 @@ class EventQueueObserver
      * @p resource identifies the state (any stable address - a
      * component, a queue partition, a buffer); @p label is a stable,
      * human-readable name for reports and waivers; @p is_write
-     * distinguishes mutation from inspection.
+     * distinguishes mutation from inspection. Only delivered to
+     * observers whose wantsAccesses() returns true.
      */
-    virtual void recordAccess(const void *resource, const char *label,
-                              bool is_write) = 0;
+    virtual void
+    recordAccess(const void *resource, const char *label, bool is_write)
+    {
+        (void)resource;
+        (void)label;
+        (void)is_write;
+    }
+
+    /**
+     * True when this observer consumes recordAccess() and component
+     * code should pay the cost of declaring accesses. Default false:
+     * execution-only observers (the profiler) never activate the
+     * AccessRecorder paths.
+     */
+    virtual bool wantsAccesses() const { return false; }
 };
 
 /**
@@ -149,14 +178,36 @@ class EventQueue
     Tick now() const { return _now; }
 
     /**
-     * Attach an execution observer (nullptr detaches; the caller keeps
-     * ownership). Costs one branch per event when attached, nothing
-     * measurable when not.
+     * Attach an execution observer (the caller keeps ownership; at most
+     * once per observer). Dispatch costs one branch per event while the
+     * observer list is empty - no virtual call, no list iteration - and
+     * one virtual call per attached observer per hook otherwise.
      */
-    void setObserver(EventQueueObserver *observer)
-    { _observer = observer; }
+    void addObserver(EventQueueObserver *observer);
 
-    EventQueueObserver *observer() const { return _observer; }
+    /** Detach a previously attached observer (no-op when absent). */
+    void removeObserver(EventQueueObserver *observer);
+
+    /**
+     * Legacy single-observer attach: @p observer replaces the whole
+     * observer list (nullptr detaches everything). Prefer
+     * addObserver()/removeObserver() when composing observers.
+     */
+    void setObserver(EventQueueObserver *observer);
+
+    /** Any observer attached (the per-event dispatch branch)? */
+    bool observed() const { return !_observers.empty(); }
+
+    const std::vector<EventQueueObserver *> &observers() const
+    { return _observers; }
+
+    /**
+     * The observer AccessRecorders should deliver logical accesses to:
+     * the most recently attached observer with wantsAccesses() == true,
+     * or nullptr when none is listening (every normal run - including
+     * profiled ones - so access declaration stays a single branch).
+     */
+    EventQueueObserver *observer() const { return _access_observer; }
 
     /**
      * Enable the schedule-perturbation mode: ties at the same
@@ -181,12 +232,19 @@ class EventQueue
     /** (Re-)schedule an event, descheduling it first if already queued. */
     void reschedule(Event *event, Tick when);
 
-    /** Schedule a one-shot callable at absolute time @p when. */
+    /**
+     * Schedule a one-shot callable at absolute time @p when. @p label
+     * must be a string literal; the self-profiler attributes the
+     * handler's host time to it (see docs/profiling.md).
+     */
     void
     schedule(std::function<void()> fn, Tick when,
-             int priority = Event::prio_default)
+             int priority = Event::prio_default,
+             const char *label = "lambda event")
     {
-        auto owned = std::make_unique<LambdaEvent>(std::move(fn), priority);
+        AllocCounters::countLambdaEvent();
+        auto owned = std::make_unique<LambdaEvent>(std::move(fn), priority,
+                                                   label);
         LambdaEvent *raw = owned.get();
         _owned.push_back(std::move(owned));
         schedule(raw, when);
@@ -195,9 +253,10 @@ class EventQueue
     /** Schedule a one-shot callable @p delay ticks from now. */
     void
     scheduleIn(std::function<void()> fn, Tick delay,
-               int priority = Event::prio_default)
+               int priority = Event::prio_default,
+               const char *label = "lambda event")
     {
-        schedule(std::move(fn), _now + delay, priority);
+        schedule(std::move(fn), _now + delay, priority, label);
     }
 
     /** True when no live (non-cancelled) events remain. */
@@ -217,6 +276,20 @@ class EventQueue
 
     /** Total number of events processed since construction. */
     std::uint64_t eventsProcessed() const { return _processed; }
+
+    // ---- Host-profiling operation counters (always on, near-free) ----
+
+    /** Total schedule() calls (heap pushes) since construction. */
+    std::uint64_t eventsScheduled() const { return _next_sequence; }
+
+    /**
+     * Stale heap entries dropped by lazy pruning - the cost of
+     * cancel()/reschedule() churn (each leaves one dead entry behind).
+     */
+    std::uint64_t staleDrops() const { return _stale_drops; }
+
+    /** High-water mark of the heap size (live + stale entries). */
+    std::size_t peakDepth() const { return _peak_depth; }
 
     /**
      * Ownership records still held for queue-owned lambda events
@@ -257,6 +330,13 @@ class EventQueue
      */
     void collectGarbage(bool force = false);
 
+    /** Out-of-line observer dispatch (cold unless observers attached). */
+    void notifyBegin(const Event &event);
+    void notifyEnd(const Event &event);
+
+    /** Recompute the cached access-wanting observer after add/remove. */
+    void refreshAccessObserver();
+
     bool
     isStale(const Entry &entry) const
     {
@@ -269,8 +349,11 @@ class EventQueue
     Tick _now = 0;
     std::uint64_t _next_sequence = 0;
     std::uint64_t _processed = 0;
+    std::uint64_t _stale_drops = 0;
+    std::size_t _peak_depth = 0;
     std::size_t _gc_threshold = 4096;
-    EventQueueObserver *_observer = nullptr;
+    std::vector<EventQueueObserver *> _observers;
+    EventQueueObserver *_access_observer = nullptr;
     bool _shuffle = false;
     std::uint64_t _shuffle_seed = 0;
 };
@@ -283,10 +366,10 @@ class EventQueue
  *     common::AccessRecorder rec(eventQueue());
  *     rec.write(this, name().c_str());
  *
- * When no observer is attached - every normal run - the whole object
- * is a cached null pointer and each call is a single branch. @p label
- * must outlive the observer's analysis (component names and string
- * literals qualify).
+ * When no access-consuming observer is attached - every normal run,
+ * including profiled ones - the whole object is a cached null pointer
+ * and each call is a single branch. @p label must outlive the
+ * observer's analysis (component names and string literals qualify).
  */
 class AccessRecorder
 {

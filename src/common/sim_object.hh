@@ -41,9 +41,10 @@ class SimObject
   protected:
     void
     scheduleIn(std::function<void()> fn, Tick delay,
-               int priority = Event::prio_default)
+               int priority = Event::prio_default,
+               const char *label = "lambda event")
     {
-        _queue.scheduleIn(std::move(fn), delay, priority);
+        _queue.scheduleIn(std::move(fn), delay, priority, label);
     }
 
   private:

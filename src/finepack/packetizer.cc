@@ -82,7 +82,7 @@ Packetizer::toMessage(const FlushedPartition &flushed,
         common::alignUp(txn.dataBytes() + txn.size() * full_subheader,
                         4);
 
-    auto msg = std::make_shared<icn::WireMessage>();
+    auto msg = icn::makeWireMessage();
     msg->kind = icn::MessageKind::finepack_packet;
     msg->src = _src;
     msg->dst = flushed.dst;

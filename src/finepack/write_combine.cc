@@ -95,7 +95,7 @@ icn::WireMessagePtr
 WriteCombineBuffer::lineToMessage(const WcLine &line,
                                   const icn::PcieProtocol &protocol) const
 {
-    auto msg = std::make_shared<icn::WireMessage>();
+    auto msg = icn::makeWireMessage();
     msg->kind = icn::MessageKind::write_combine_line;
     msg->src = _src;
     msg->dst = _dst;

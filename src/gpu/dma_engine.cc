@@ -48,7 +48,7 @@ DmaEngine::copy(GpuId dst, const icn::AddrRange &range)
                 std::uint64_t chunk =
                     std::min<std::uint64_t>(remaining, _chunk_bytes);
 
-                auto msg = std::make_shared<icn::WireMessage>();
+                auto msg = icn::makeWireMessage();
                 msg->kind = icn::MessageKind::dma_chunk;
                 msg->src = _self;
                 msg->dst = dst;
@@ -65,7 +65,7 @@ DmaEngine::copy(GpuId dst, const icn::AddrRange &range)
                 remaining -= chunk;
             }
         },
-        start, common::Event::prio_inject);
+        start, common::Event::prio_inject, "dma.copy");
 }
 
 } // namespace fp::gpu

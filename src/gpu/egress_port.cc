@@ -222,7 +222,7 @@ EgressPort::issueStores(const std::vector<icn::Store> &stores,
     for (GpuId dst = 0; dst < _num_gpus; ++dst) {
         if (dst == _self)
             continue;
-        auto msg = std::make_shared<icn::WireMessage>();
+        auto msg = icn::makeWireMessage();
         msg->kind = icn::MessageKind::raw_store;
         msg->src = _self;
         msg->dst = dst;
@@ -372,7 +372,7 @@ EgressPort::notifyRemoteLoad(GpuId dst, Addr addr, std::uint32_t size)
 void
 EgressPort::sendRaw(const icn::Store &store, icn::MessageKind kind)
 {
-    auto msg = std::make_shared<icn::WireMessage>();
+    auto msg = icn::makeWireMessage();
     msg->kind = kind;
     msg->src = _self;
     msg->dst = store.dst;
@@ -457,7 +457,7 @@ EgressPort::armTimeout(GpuId dst)
         return;
     _timeout_armed[dst] = true;
     scheduleIn([this, dst]() { timeoutFired(dst); }, _flush_timeout,
-               common::Event::prio_sync);
+               common::Event::prio_sync, "egress.flush_timeout");
 }
 
 void
@@ -486,7 +486,8 @@ EgressPort::timeoutFired(GpuId dst)
     // Pushed again since arming: re-arm for the remaining idle window.
     _timeout_armed[dst] = true;
     scheduleIn([this, dst]() { timeoutFired(dst); },
-               _flush_timeout - idle, common::Event::prio_sync);
+               _flush_timeout - idle, common::Event::prio_sync,
+               "egress.flush_timeout");
 }
 
 const finepack::RemoteWriteQueue &

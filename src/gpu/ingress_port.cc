@@ -79,7 +79,7 @@ IngressPort::receive(const icn::WireMessagePtr &msg)
             if (_delivered_cb)
                 _delivered_cb(msg);
         },
-        _busy_until, common::Event::prio_default);
+        _busy_until, common::Event::prio_default, "ingress.drain");
 }
 
 } // namespace fp::gpu

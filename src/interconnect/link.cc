@@ -142,7 +142,7 @@ Link::transmit(const WireMessagePtr &msg,
             if (_deliver)
                 _deliver(msg);
         },
-        arrive, common::Event::prio_arrival);
+        arrive, common::Event::prio_arrival, "link.deliver");
 }
 
 std::uint64_t

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/alloc_counters.hh"
 #include "common/types.hh"
 #include "interconnect/store.hh"
 #include "obs/latency.hh"
@@ -82,6 +83,19 @@ struct WireMessage
 };
 
 using WireMessagePtr = std::shared_ptr<WireMessage>;
+
+/**
+ * Sole allocation point for wire messages. Routes every allocation
+ * through common::AllocCounters so the host-side profiler can report
+ * message-churn on the hot path (one branch when profiling is off),
+ * and gives ROADMAP item 1's pool allocator a single seam to replace.
+ */
+inline WireMessagePtr
+makeWireMessage()
+{
+    common::AllocCounters::countWireMessage();
+    return std::make_shared<WireMessage>();
+}
 
 } // namespace fp::icn
 

@@ -2,8 +2,10 @@
 
 #include <sstream>
 
+#include "common/build_info.hh"
 #include "common/json.hh"
 #include "common/stats.hh"
+#include "obs/profiler.hh"
 
 namespace fp::obs {
 
@@ -25,12 +27,17 @@ MetricsCapture::groupsJson() const
 
 void
 MetricsCapture::writeDocument(std::ostream &os,
-                              const PeriodicSampler *sampler) const
+                              const PeriodicSampler *sampler,
+                              const Profiler *profiler) const
 {
     // The groups snapshot is already-serialized JSON, so the document
     // frame is spliced by hand around it.
-    os << "{\"schema_version\":1,\"groups\":" << groupsJson()
-       << ",\"timeseries\":";
+    os << "{\"schema_version\":1,\"provenance\":";
+    {
+        common::JsonWriter json(os);
+        common::dumpBuildInfoJson(json);
+    }
+    os << ",\"groups\":" << groupsJson() << ",\"timeseries\":";
     {
         common::JsonWriter json(os);
         if (sampler) {
@@ -39,6 +46,11 @@ MetricsCapture::writeDocument(std::ostream &os,
             json.beginObject();
             json.endObject();
         }
+    }
+    if (profiler) {
+        os << ",\"host\":";
+        common::JsonWriter json(os);
+        profiler->dumpJson(json);
     }
     os << "}\n";
 }

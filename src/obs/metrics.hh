@@ -20,6 +20,8 @@
 
 namespace fp::obs {
 
+class Profiler;
+
 class MetricsCapture
 {
   public:
@@ -36,11 +38,17 @@ class MetricsCapture
     const std::string &groupsJson() const;
 
     /**
-     * Write the complete stats document: schema version, the captured
-     * groups, and (when @p sampler is non-null) its time series.
+     * Write the complete stats document: schema version, build
+     * provenance, the captured groups, (when @p sampler is non-null)
+     * its time series, and (when @p profiler is non-null) the
+     * host-side self-profiling section. Provenance is constant per
+     * binary and the `host` key only appears when profiling is
+     * requested, so digesting the default-argument document stays
+     * stable across profiled and unprofiled runs.
      */
     void writeDocument(std::ostream &os,
-                       const PeriodicSampler *sampler = nullptr) const;
+                       const PeriodicSampler *sampler = nullptr,
+                       const Profiler *profiler = nullptr) const;
 
   private:
     std::string _groups_json;

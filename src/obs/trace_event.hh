@@ -43,6 +43,13 @@ const char *toString(TraceDetail detail);
 /** Conventional process ids inside a trace: pid 0 is the driver. */
 inline constexpr std::uint32_t trace_pid_sim = 0;
 
+/**
+ * pid of the host self-profiler timeline (obs::Profiler::emitTrace).
+ * Far above any GPU pid so the wall-clock timeline sorts last and is
+ * unmistakably not part of the simulated system.
+ */
+inline constexpr std::uint32_t trace_pid_host = 0xffffu;
+
 /** pid of GPU @p g (pid 0 is reserved for the sim driver). */
 inline std::uint32_t
 tracePidGpu(GpuId g)

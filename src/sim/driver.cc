@@ -1,6 +1,7 @@
 #include "sim/driver.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -15,10 +16,24 @@
 #include "interconnect/topology.hh"
 #include "obs/latency.hh"
 #include "obs/metrics.hh"
+#include "obs/profiler.hh"
 #include "obs/sampler.hh"
 #include "obs/trace_event.hh"
 
 namespace fp::sim {
+
+namespace {
+
+/** Cumulative DES events across all runs (see totalHostEventsProcessed). */
+std::atomic<std::uint64_t> total_host_events{0};
+
+} // namespace
+
+std::uint64_t
+totalHostEventsProcessed()
+{
+    return total_host_events.load(std::memory_order_relaxed);
+}
 
 const char *
 toString(Paradigm paradigm)
@@ -85,6 +100,11 @@ SimulationDriver::runAnalytic(const trace::WorkloadTrace &trace,
 {
     RunResult result;
     result.paradigm = paradigm;
+
+    // Analytic paradigms never touch the event queue; attribute their
+    // (tiny) host cost to one scope so profile reports stay complete.
+    obs::Profiler::Scope profile_scope(_config.profiler,
+                                       "driver.analytic");
 
     const gpu::GpuConfig &cfg = _config.gpu;
     Tick total = 0;
@@ -167,7 +187,12 @@ SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
     if (_config.tie_break_shuffle_seed != 0)
         sys.queue.enableTieBreakShuffle(_config.tie_break_shuffle_seed);
     if (_config.queue_observer)
-        sys.queue.setObserver(_config.queue_observer);
+        sys.queue.addObserver(_config.queue_observer);
+    // The self-profiler rides the same observer hooks (wall-clock only,
+    // no access recording): attach before the first event so its
+    // counters cover the whole run.
+    if (_config.profiler)
+        _config.profiler->beginRun(&sys.queue);
     // Stamp warn()/inform() messages with simulated time for the
     // duration of the run.
     common::ScopedTickContext tick_context(
@@ -295,6 +320,10 @@ SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
     Tick t = 0;
     std::size_t iteration_index = 0;
     for (const auto &iter : trace.iterations) {
+        // Scope the whole iteration: in the hotspot report its self
+        // time is driver/queue overhead not attributed to any handler.
+        obs::Profiler::Scope iter_scope(_config.profiler,
+                                        "driver.iteration");
         if (is_gps)
             gps_model.beginIteration(iter);
 
@@ -331,7 +360,8 @@ SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
                         for (const auto &copy : *copies)
                             engine->copy(copy.dst, copy.range);
                     },
-                    compute_end, common::Event::prio_inject);
+                    compute_end, common::Event::prio_inject,
+                    "driver.dma_copies");
                 continue;
             }
 
@@ -360,7 +390,8 @@ SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
                         [port, stores, begin, end]() {
                             port->issueStores(*stores, begin, end);
                         },
-                        when, common::Event::prio_inject);
+                        when, common::Event::prio_inject,
+                        "driver.issue_stores");
                 } else {
                     baselines::GpsModel *model = &gps_model;
                     sys.queue.schedule(
@@ -376,12 +407,13 @@ SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
                             }
                             port->issueStores(kept, 0, kept.size());
                         },
-                        when, common::Event::prio_inject);
+                        when, common::Event::prio_inject,
+                        "driver.gps_issue_stores");
                 }
             }
             sys.queue.schedule(
                 [port]() { port->releaseFence(); }, compute_end,
-                common::Event::prio_sync);
+                common::Event::prio_sync, "driver.release_fence");
         }
 
         // Run until every message has drained into its destination.
@@ -424,6 +456,14 @@ SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
     }
 
     result.total_time = t;
+    result.events_processed = sys.queue.eventsProcessed();
+    total_host_events.fetch_add(result.events_processed,
+                                std::memory_order_relaxed);
+
+    // Detach the profiler while the queue is alive; it folds this
+    // run's wall time and queue/alloc counters into its aggregates.
+    if (_config.profiler)
+        _config.profiler->endRun();
 
     // Capture observability output while the component tree (and with
     // it every registered StatGroup) is still alive.

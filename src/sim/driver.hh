@@ -32,6 +32,7 @@ namespace fp::obs {
 class LatencyCollector;
 class MetricsCapture;
 class PeriodicSampler;
+class Profiler;
 class TraceSink;
 } // namespace fp::obs
 
@@ -88,6 +89,13 @@ struct SimConfig
      * Event-driven paradigms only; see docs/latency.md.
      */
     obs::LatencyCollector *latency = nullptr;
+    /**
+     * Host-side self-profiler: attaches to the event queue for the
+     * duration of each run and attributes *wall-clock* handler time to
+     * event labels (see docs/profiling.md). Measures the simulator,
+     * not the simulated system; never changes simulated results.
+     */
+    obs::Profiler *profiler = nullptr;
 
     // ---- Determinism analysis hooks (see docs/determinism.md) ----------
     /**
@@ -159,6 +167,16 @@ struct RunResult
      */
     std::uint64_t oracle_digest = 0;
 
+    // ---- Host-side bookkeeping (not part of the simulated result) ------
+    /**
+     * Events the DES core executed for this run (0 for analytic
+     * paradigms). Deterministic, but deliberately excluded from the
+     * racecheck result digest: it describes the engine, not the
+     * simulated outcome, and ROADMAP item 1's engine overhaul is
+     * allowed to change it.
+     */
+    std::uint64_t events_processed = 0;
+
     double totalSeconds() const
     { return static_cast<double>(total_time) /
           static_cast<double>(ticks_per_sec); }
@@ -187,6 +205,15 @@ class SimulationDriver
 
     SimConfig _config;
 };
+
+/**
+ * Process-wide total of DES events executed by every
+ * SimulationDriver::run() since process start (all drivers, all
+ * threads). The bench harness samples it around a bench to derive
+ * `host.events_per_sec` without threading a profiler through every
+ * figure sweep.
+ */
+std::uint64_t totalHostEventsProcessed();
 
 } // namespace fp::sim
 

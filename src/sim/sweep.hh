@@ -38,9 +38,14 @@ namespace fp::sim {
 
 /**
  * One independent simulation in a sweep. The SimConfig is copied per
- * job; its observability pointers (tracer, sampler, ...) are owned by
- * the caller and must not be shared between jobs when the sweep runs
- * with more than one lane -- the sinks are not synchronized.
+ * job; its observability pointers (tracer, sampler, profiler, ...) are
+ * owned by the caller and must not be shared between jobs when the
+ * sweep runs with more than one lane -- the sinks are not
+ * synchronized. Host self-profiling under a parallel sweep therefore
+ * means one obs::Profiler per job (tests/sim/profiler_thread_test.cc
+ * exercises this under TSan); only the process-wide
+ * common::AllocCounters are shared, and those are atomic and
+ * documented as coarse when profiled shards overlap.
  */
 struct SweepJob
 {

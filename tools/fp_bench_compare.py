@@ -19,6 +19,14 @@ Globs are fnmatch-style; the most specific match wins (bench section before
 the "*" section, longer pattern before shorter). A tolerance of 0 demands
 exact equality - used for deterministic count metrics.
 
+Metrics under the reserved `host.` prefix (host.wall_ns,
+host.events_per_sec, ...) measure the *simulator's* wall-clock
+throughput; they are machine-dependent by design, so both sides drop
+them before comparing - including the name-set check, so a baseline
+recorded with host metrics still compares clean on a binary without
+them (and vice versa). Pass --include-host to compare them anyway,
+e.g. when chasing a simulator-performance regression on one machine.
+
 Usage:
     fp_bench_compare.py [options] CURRENT.json [CURRENT.json ...]
 
@@ -26,6 +34,8 @@ Options:
     --baseline-dir DIR   baseline directory (default: bench/baselines
                          relative to the repository root)
     --tolerance PCT      default relative tolerance in percent (default 2)
+    --include-host       compare machine-dependent host.* metrics too
+                         (skipped by default)
     --update             overwrite the baselines with the current files
                          instead of comparing (records new expectations)
 
@@ -81,7 +91,17 @@ def tolerance_for(tolerances, bench, metric, default_pct):
     return default_pct
 
 
-def compare(current: Path, baseline_dir: Path, tolerances, default_pct):
+HOST_PREFIX = "host."
+
+
+def drop_host_metrics(metrics):
+    """Metrics minus the machine-dependent host.* namespace."""
+    return {name: value for name, value in metrics.items()
+            if not name.startswith(HOST_PREFIX)}
+
+
+def compare(current: Path, baseline_dir: Path, tolerances, default_pct,
+            include_host=False):
     """Return a list of failure strings (empty = pass)."""
     cur = load(current)
     bench = cur["bench"]
@@ -90,6 +110,9 @@ def compare(current: Path, baseline_dir: Path, tolerances, default_pct):
         return [f"{bench}: no baseline at {base_path} "
                 f"(record one with --update)"]
     base = load(base_path)
+    if not include_host:
+        cur = dict(cur, metrics=drop_host_metrics(cur["metrics"]))
+        base = dict(base, metrics=drop_host_metrics(base["metrics"]))
 
     failures = []
     if cur["schema_version"] != base["schema_version"]:
@@ -137,6 +160,9 @@ def main():
                         default=REPO_ROOT / "bench" / "baselines")
     parser.add_argument("--tolerance", type=float, default=2.0,
                         help="default relative tolerance in percent")
+    parser.add_argument("--include-host", action="store_true",
+                        help="compare machine-dependent host.* metrics "
+                             "(skipped by default)")
     parser.add_argument("--update", action="store_true",
                         help="record the current files as the new baselines")
     args = parser.parse_args()
@@ -154,7 +180,7 @@ def main():
     all_failures = []
     for path in args.current:
         failures = compare(path, args.baseline_dir, tolerances,
-                           args.tolerance)
+                           args.tolerance, args.include_host)
         bench = load(path)["bench"]
         if failures:
             all_failures.extend(failures)

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Unit tests for fp_bench_compare.py's host.* metric filtering.
+
+host.* metrics (simulator wall-clock throughput) are machine-dependent
+by design: the comparison must ignore them by default - values AND
+name-set membership, in both directions - and only compare them under
+--include-host. A regression here would either make the CI perf-smoke
+job flaky (comparing wall clock across runners) or silently stop
+comparing real metrics.
+
+Run directly (python3 tools/fp_bench_compare_test.py) or via ctest
+(registered as fp_bench_compare_selftest).
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import fp_bench_compare as fbc  # noqa: E402
+
+
+def doc(bench="b", scale=0.1, metrics=None):
+    return {"bench": bench, "schema_version": 1, "scale": scale,
+            "metrics": metrics or {}}
+
+
+class DropHostMetricsTest(unittest.TestCase):
+    def test_drops_only_host_prefix(self):
+        metrics = {"host.wall_ns": 5.0, "host.events_per_sec": 2e6,
+                   "speedup.jacobi": 2.5, "hostile_metric": 1.0}
+        kept = fbc.drop_host_metrics(metrics)
+        self.assertEqual(kept, {"speedup.jacobi": 2.5,
+                                "hostile_metric": 1.0})
+
+    def test_empty_ok(self):
+        self.assertEqual(fbc.drop_host_metrics({}), {})
+
+
+class CompareHostFilterTest(unittest.TestCase):
+    """compare() against a real baseline dir in a tempdir."""
+
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.dir = Path(self._tmp.name)
+        self.baseline_dir = self.dir / "baselines"
+        self.baseline_dir.mkdir()
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, name, document):
+        path = self.dir / name
+        path.write_text(json.dumps(document))
+        return path
+
+    def write_baseline(self, document):
+        path = self.baseline_dir / f"{document['bench']}.json"
+        path.write_text(json.dumps(document))
+        return path
+
+    def compare(self, current, include_host=False, tolerances=None):
+        return fbc.compare(current, self.baseline_dir, tolerances or {},
+                           2.0, include_host)
+
+    def test_host_drift_ignored_by_default(self):
+        self.write_baseline(doc(metrics={"speedup": 2.0,
+                                         "host.wall_ns": 1e9}))
+        cur = self.write("cur.json",
+                         doc(metrics={"speedup": 2.0,
+                                      "host.wall_ns": 9e9}))
+        self.assertEqual(self.compare(cur), [])
+
+    def test_host_name_set_divergence_ignored_both_ways(self):
+        # Baseline without host metrics vs current with them...
+        self.write_baseline(doc(metrics={"speedup": 2.0}))
+        cur = self.write("cur.json",
+                         doc(metrics={"speedup": 2.0,
+                                      "host.events": 5.0}))
+        self.assertEqual(self.compare(cur), [])
+        # ... and baseline with them vs current without.
+        self.write_baseline(doc(metrics={"speedup": 2.0,
+                                         "host.events": 5.0}))
+        cur = self.write("cur2.json", doc(metrics={"speedup": 2.0}))
+        self.assertEqual(self.compare(cur), [])
+
+    def test_include_host_compares_values(self):
+        self.write_baseline(doc(metrics={"speedup": 2.0,
+                                         "host.wall_ns": 1e9}))
+        cur = self.write("cur.json",
+                         doc(metrics={"speedup": 2.0,
+                                      "host.wall_ns": 9e9}))
+        failures = self.compare(cur, include_host=True)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("host.wall_ns", failures[0])
+
+    def test_include_host_flags_missing_metric(self):
+        self.write_baseline(doc(metrics={"speedup": 2.0,
+                                         "host.events": 5.0}))
+        cur = self.write("cur.json", doc(metrics={"speedup": 2.0}))
+        failures = self.compare(cur, include_host=True)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("missing", failures[0])
+
+    def test_real_metric_drift_still_fails(self):
+        self.write_baseline(doc(metrics={"speedup": 2.0,
+                                         "host.wall_ns": 1e9}))
+        cur = self.write("cur.json",
+                         doc(metrics={"speedup": 3.0,
+                                      "host.wall_ns": 1e9}))
+        failures = self.compare(cur)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("speedup", failures[0])
+
+    def test_real_metric_name_divergence_still_fails(self):
+        self.write_baseline(doc(metrics={"speedup": 2.0}))
+        cur = self.write("cur.json",
+                         doc(metrics={"speedup": 2.0, "extra": 1.0}))
+        failures = self.compare(cur)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("extra", failures[0])
+
+    def test_host_tolerance_rule_applies_under_include_host(self):
+        tolerances = {"*": {"host.*": 50}}
+        self.write_baseline(doc(metrics={"host.events_per_sec": 100.0}))
+        within = self.write("a.json",
+                            doc(metrics={"host.events_per_sec": 130.0}))
+        beyond = self.write("b.json",
+                            doc(metrics={"host.events_per_sec": 300.0}))
+        self.assertEqual(
+            self.compare(within, include_host=True,
+                         tolerances=tolerances), [])
+        self.assertEqual(
+            len(self.compare(beyond, include_host=True,
+                             tolerances=tolerances)), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -21,6 +21,15 @@
  *       histograms land in the stats JSON, a one-line p50/p99 summary
  *       prints otherwise, and at --trace-detail full each message gets
  *       a flow-event chain; --no-latency disables the stamping.
+ *   profile <trace.fpt> [--paradigm P] [--pcie GEN] [--reps N]
+ *           [--top N] [--json FILE]
+ *       Host-side self-profiling (docs/profiling.md): replay the trace
+ *       N times with obs::Profiler attached and report where the
+ *       *simulator's* wall-clock time goes - top-N event-label
+ *       hotspots, events/sec throughput, event-queue operation
+ *       counters, and allocation counts on the hot paths. --json
+ *       writes the machine-readable profile document (provenance +
+ *       host section).
  *   racecheck <trace.fpt> [--paradigm P] [--pcie GEN] [--seeds N]
  *             [--report FILE] [--waive GLOB] [--no-default-waivers]
  *       Determinism analysis (docs/determinism.md). Statically: replay
@@ -43,10 +52,12 @@
 
 #include "check/digest.hh"
 #include "check/race_detector.hh"
+#include "common/build_info.hh"
 #include "common/json.hh"
 #include "common/table.hh"
 #include "obs/latency.hh"
 #include "obs/metrics.hh"
+#include "obs/profiler.hh"
 #include "obs/sampler.hh"
 #include "obs/trace_event.hh"
 #include "sim/driver.hh"
@@ -70,12 +81,16 @@ usage()
            "                 [--stats-json FILE] [--trace-out FILE]\n"
            "                 [--trace-detail full|flush|off]"
            " [--sample-ns N]\n"
-           "                 [--no-latency]\n"
+           "                 [--no-latency] [--profile]\n"
+           "  fptrace profile <trace.fpt> [--paradigm P]"
+           " [--pcie 3|4|5|6]\n"
+           "                 [--reps N] [--top N] [--json FILE]\n"
            "  fptrace racecheck <trace.fpt> [--paradigm P]"
            " [--pcie 3|4|5|6]\n"
            "                 [--seeds N] [--report FILE] [--waive GLOB]\n"
            "                 [--no-default-waivers]\n"
-           "  fptrace list\n";
+           "  fptrace list\n"
+           "  fptrace --version\n";
     return 2;
 }
 
@@ -233,6 +248,7 @@ cmdReplay(int argc, char **argv)
     obs::PeriodicSampler sampler(sample_ns * ticks_per_ns);
     obs::MetricsCapture metrics;
     obs::LatencyCollector latency;
+    obs::Profiler profiler;
     if (*trace_path != '\0' && detail != obs::TraceDetail::off)
         config.tracer = &tracer;
     if (*stats_path != '\0') {
@@ -244,6 +260,9 @@ cmdReplay(int argc, char **argv)
     bool want_latency = !hasFlag(argc, argv, "--no-latency");
     if (want_latency)
         config.latency = &latency;
+    bool want_profile = hasFlag(argc, argv, "--profile");
+    if (want_profile)
+        config.profiler = &profiler;
 
     sim::SimulationDriver driver(config);
     sim::RunResult baseline =
@@ -254,13 +273,18 @@ cmdReplay(int argc, char **argv)
         std::ofstream out(stats_path);
         if (!out)
             fp_fatal("cannot open ", stats_path, " for writing");
-        metrics.writeDocument(out, &sampler);
+        metrics.writeDocument(out, &sampler,
+                              want_profile ? &profiler : nullptr);
         std::cout << "stats json: " << stats_path << "\n";
     }
     if (config.tracer) {
         std::ofstream out(trace_path);
         if (!out)
             fp_fatal("cannot open ", trace_path, " for writing");
+        // The host timeline renders alongside the simulated one as a
+        // second clock domain (docs/profiling.md).
+        if (want_profile)
+            profiler.emitTrace(tracer);
         tracer.write(out);
         std::cout << "trace:      " << trace_path << " ("
                   << tracer.eventCount() << " events, detail "
@@ -311,6 +335,117 @@ cmdReplay(int argc, char **argv)
                   << " bytes (" << result.oracle_value_bytes
                   << " value-compared) across " << result.oracle_stores
                   << " buffered stores\n";
+    if (want_profile)
+        std::cout << "host:       " << profiler.events() << " events in "
+                  << common::Table::num(
+                         static_cast<double>(profiler.wallNs()) / 1e6, 2)
+                  << " ms ("
+                  << common::Table::num(profiler.eventsPerSec() / 1e6, 2)
+                  << " M events/s); details via `fptrace profile` or "
+                     "--stats-json\n";
+    return 0;
+}
+
+/**
+ * Print the hotspot table plus throughput/counter summary; shared by
+ * the human-readable half of cmdProfile.
+ */
+void
+printProfileReport(const obs::Profiler &profiler, std::size_t top_n)
+{
+    std::cout << "build:      " << common::buildInfoLine() << "\n"
+              << "host time:  "
+              << common::Table::num(
+                     static_cast<double>(profiler.wallNs()) / 1e6, 2)
+              << " ms wall, " << profiler.events() << " events, "
+              << common::Table::num(profiler.eventsPerSec() / 1e6, 3)
+              << " M events/s\n"
+              << "queue:      " << profiler.queuePushes() << " pushes, "
+              << profiler.queuePops() << " pops, "
+              << profiler.queueStaleDrops() << " stale drops, peak depth "
+              << profiler.queuePeakDepth() << "\n"
+              << "alloc:      " << profiler.lambdaEventAllocs()
+              << " lambda events, " << profiler.wireMessageAllocs()
+              << " wire messages\n";
+
+    common::Table table("top host-time consumers (self time)");
+    table.setHeader({"label", "count", "self ms", "self %", "total ms",
+                     "max us"});
+    double wall = static_cast<double>(profiler.wallNs());
+    for (const auto &spot : profiler.hotspots(top_n)) {
+        table.addRow(
+            {spot.label, std::to_string(spot.count),
+             common::Table::num(static_cast<double>(spot.self_ns) / 1e6,
+                                3),
+             common::Table::num(
+                 wall > 0.0
+                     ? 100.0 * static_cast<double>(spot.self_ns) / wall
+                     : 0.0,
+                 1),
+             common::Table::num(static_cast<double>(spot.total_ns) / 1e6,
+                                3),
+             common::Table::num(static_cast<double>(spot.max_ns) / 1e3,
+                                1)});
+    }
+    table.print(std::cout);
+}
+
+int
+cmdProfile(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    trace::WorkloadTrace trace = loadTrace(argv[2]);
+
+    sim::SimConfig config;
+    std::string gen = argValue(argc, argv, "--pcie", "4");
+    config.pcie_gen = gen == "3"   ? icn::PcieGen::gen3
+                      : gen == "5" ? icn::PcieGen::gen5
+                      : gen == "6" ? icn::PcieGen::gen6
+                                   : icn::PcieGen::gen4;
+    sim::Paradigm paradigm =
+        parseParadigm(argValue(argc, argv, "--paradigm", "finepack"));
+    int reps = std::atoi(argValue(argc, argv, "--reps", "3"));
+    if (reps < 1)
+        reps = 1;
+    auto top_n = static_cast<std::size_t>(
+        std::atoi(argValue(argc, argv, "--top", "10")));
+    const char *json_path = argValue(argc, argv, "--json", "");
+
+    obs::Profiler profiler;
+    config.profiler = &profiler;
+    sim::SimulationDriver driver(config);
+    for (int r = 0; r < reps; ++r)
+        driver.run(trace, paradigm);
+
+    std::cout << "profile:    " << trace.workload << " under "
+              << toString(paradigm) << " on "
+              << toString(config.pcie_gen) << ", " << trace.num_gpus
+              << " GPUs, " << reps << " rep(s)\n";
+    printProfileReport(profiler, top_n);
+
+    if (*json_path != '\0') {
+        std::ofstream out(json_path);
+        if (!out)
+            fp_fatal("cannot open ", json_path, " for writing");
+        common::JsonWriter json(out);
+        json.beginObject();
+        json.kv("schema_version", 1);
+        json.kv("kind", "profile");
+        json.key("provenance");
+        common::dumpBuildInfoJson(json);
+        json.kv("trace", argv[2]);
+        json.kv("workload", trace.workload);
+        json.kv("paradigm", toString(paradigm));
+        json.kv("pcie", toString(config.pcie_gen));
+        json.kv("gpus", trace.num_gpus);
+        json.kv("reps", reps);
+        json.key("host");
+        profiler.dumpJson(json, top_n);
+        json.endObject();
+        out << "\n";
+        std::cout << "json:       " << json_path << "\n";
+    }
     return 0;
 }
 
@@ -525,8 +660,14 @@ main(int argc, char **argv)
         return cmdInfo(argc, argv);
     if (command == "replay")
         return cmdReplay(argc, argv);
+    if (command == "profile")
+        return cmdProfile(argc, argv);
     if (command == "racecheck")
         return cmdRacecheck(argc, argv);
+    if (command == "--version" || command == "version") {
+        std::cout << "fptrace " << fp::common::buildInfoLine() << "\n";
+        return 0;
+    }
     if (command == "list") {
         for (const auto &name : fp::workloads::allWorkloadNames())
             std::cout << name << "\n";

@@ -45,6 +45,7 @@ benches=(
     fig13_bandwidth_sweep
     tab02_subheader_ranges
     scalability_sweep
+    scale16_gpu
     micro_finepack
 )
 
