@@ -24,6 +24,7 @@
 
 #include "common/json.hh"
 #include "common/table.hh"
+#include "obs/flow.hh"
 #include "sim/driver.hh"
 #include "sim/sweep.hh"
 #include "sim/trace_cache.hh"
@@ -184,6 +185,54 @@ class JsonReporter
     std::uint64_t _events_base;
     std::map<std::string, double> _metrics;
 };
+
+/**
+ * Record the fabric flow-observability summary for one (app, config,
+ * paradigm) point under `fabric.<app>.*`: hottest-link utilization,
+ * fabric-wide busy/wait ticks, cross-GPU attributed delay (the
+ * off-diagonal of the contention matrix), packing efficiency, and the
+ * active-flow count. Runs one dedicated, serial instrumented
+ * simulation - FlowCollector hooks must not be shared across parallel
+ * sweep lanes - so it is skipped entirely when the reporter is
+ * disabled. Schema: docs/fabric_observability.md.
+ */
+inline void
+addFabricMetrics(JsonReporter &reporter, const std::string &app,
+                 double scale, std::uint32_t gpus,
+                 const sim::SimConfig &base_config,
+                 sim::Paradigm paradigm = sim::Paradigm::finepack)
+{
+    if (!reporter.enabled())
+        return;
+    obs::FlowCollector flows;
+    sim::SimConfig config = base_config;
+    config.flows = &flows;
+    sim::SimulationDriver driver(config);
+    driver.run(benchTrace(app, scale, gpus), paradigm);
+
+    double hot_util = 0.0;
+    auto hottest = flows.hottestLinks(1);
+    if (!hottest.empty())
+        hot_util = flows.linkUtilization(flows.links()[hottest[0]]);
+    Tick cross_delay = 0;
+    for (GpuId by = 0; by < flows.numGpus(); ++by)
+        for (GpuId on = 0; on < flows.numGpus(); ++on)
+            if (by != on)
+                cross_delay += flows.interferenceTicks(by, on);
+
+    const std::string prefix = "fabric." + app + ".";
+    reporter.add(prefix + "hot_link_utilization", hot_util);
+    reporter.add(prefix + "total_busy_ticks",
+                 static_cast<double>(flows.totalBusyTicks()));
+    reporter.add(prefix + "total_wait_ticks",
+                 static_cast<double>(flows.totalWaitTicks()));
+    reporter.add(prefix + "cross_gpu_delay_ticks",
+                 static_cast<double>(cross_delay));
+    reporter.add(prefix + "packing_efficiency",
+                 flows.packingEfficiency());
+    reporter.add(prefix + "active_flows",
+                 static_cast<double>(flows.activeFlows()));
+}
 
 /** One app's speedups over the 1-GPU baseline for a set of paradigms. */
 inline std::map<sim::Paradigm, double>

@@ -121,5 +121,8 @@ main(int argc, char **argv)
                  1.0 - fp_total / uncompressed_total);
     reporter.add("aggregate.saving_vs_wc_line",
                  1.0 - fp_total / wc_line_total);
+
+    // Fabric hot-link / contention summary for the traffic headline.
+    addFabricMetrics(reporter, "pagerank", scale, 4, sim::SimConfig());
     return reporter.write() ? 0 : 1;
 }

@@ -65,5 +65,8 @@ main(int argc, char **argv)
                  " GPU count (communication grows super-linearly under"
                  " strong scaling,\nSection I), while FinePack tracks"
                  " the infinite-bandwidth bound.\n";
+
+    // Fabric hot-link / contention summary at the largest sweep point.
+    addFabricMetrics(reporter, "jacobi", scale, 16, sim::SimConfig());
     return reporter.write() ? 0 : 1;
 }

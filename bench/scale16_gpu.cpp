@@ -86,5 +86,8 @@ main(int argc, char **argv)
     reporter.add("ratio.finepack_over_p2p", mean(fp_over_p2p));
     reporter.add("ratio.finepack_over_dma", mean(fp_over_dma));
     reporter.add("rwq_sram_kb", static_cast<double>(sram_kb));
+
+    // Fabric hot-link / contention summary at the headline point.
+    addFabricMetrics(reporter, "pagerank", scale, gpus, config);
     return reporter.write() ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 
 #include "check/invariant.hh"
 #include "common/logging.hh"
+#include "obs/flow.hh"
 
 namespace fp::gpu {
 
@@ -26,6 +27,10 @@ IngressPort::receive(const icn::WireMessagePtr &msg)
     ++_messages;
     _stores += static_cast<double>(msg->stores.size());
     _bytes += static_cast<double>(msg->data_bytes);
+
+    if (_flows)
+        _flows->recordCommit(msg->src, _self, msg->wireBytes(),
+                             msg->data_bytes);
 
     if (_memory) {
         for (const icn::Store &store : msg->stores) {

@@ -19,6 +19,10 @@
 #include "obs/latency.hh"
 #include "obs/trace_event.hh"
 
+namespace fp::obs {
+class FlowCollector;
+} // namespace fp::obs
+
 namespace fp::gpu {
 
 /** The ingress-side network interface of one GPU. */
@@ -57,6 +61,14 @@ class IngressPort : public common::SimObject
     void setLatencyCollector(obs::LatencyCollector *latency)
     { _latency = latency; }
 
+    /**
+     * Attach a flow collector (nullptr detaches): every received
+     * message is committed against its src -> dst flow, closing the
+     * inject/commit conservation ledger. Off costs one branch per
+     * message.
+     */
+    void setFlowCollector(obs::FlowCollector *flows) { _flows = flows; }
+
     /** Tick when the ingress path finishes draining everything queued. */
     Tick drainedAt() const { return _busy_until; }
 
@@ -74,6 +86,7 @@ class IngressPort : public common::SimObject
     DeliveredFn _delivered_cb;
     obs::TraceSink *_tracer = nullptr;
     obs::LatencyCollector *_latency = nullptr;
+    obs::FlowCollector *_flows = nullptr;
     Tick _busy_until = 0;
 
     common::Scalar _messages;

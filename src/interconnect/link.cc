@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/bitutil.hh"
+#include "obs/flow.hh"
 
 namespace fp::icn {
 
@@ -24,6 +25,12 @@ Link::Link(const std::string &name, common::EventQueue &queue,
                            "messages transmitted");
     stats().registerScalar("busy_ticks", &_busy_ticks,
                            "ticks spent serializing");
+    stats().registerScalar("bytes_tx", &_bytes_tx,
+                           "wire bytes transmitted (payload + header)");
+    stats().registerScalar("msgs_tx", &_msgs_tx,
+                           "messages transmitted");
+    stats().registerScalar("wait_ticks", &_wait_ticks,
+                           "ticks messages waited to start serializing");
     stats().registerScalar("credit_stalls", &_credit_stalls,
                            "messages that waited for credits");
 }
@@ -54,11 +61,11 @@ Link::drainWaiting()
     // FIFO order: only the head may proceed, to preserve PCIe's posted
     // write ordering.
     while (!_waiting.empty()) {
-        const auto &[msg, on_transmit] = _waiting.front();
-        if (_credits_in_use + msg->wireBytes() > _credit_limit)
+        const Pending &head = _waiting.front();
+        if (_credits_in_use + head.msg->wireBytes() > _credit_limit)
             break;
-        _credits_in_use += msg->wireBytes();
-        transmit(msg, on_transmit);
+        _credits_in_use += head.msg->wireBytes();
+        transmit(head.msg, head.on_transmit, head.enqueued);
         _waiting.pop_front();
     }
 }
@@ -79,17 +86,17 @@ Link::send(const WireMessagePtr &msg, std::function<void()> on_transmit)
         if (!_waiting.empty() ||
             _credits_in_use + msg->wireBytes() > _credit_limit) {
             ++_credit_stalls;
-            _waiting.emplace_back(msg, std::move(on_transmit));
+            _waiting.push_back({msg, std::move(on_transmit), curTick()});
             return;
         }
         _credits_in_use += msg->wireBytes();
     }
-    transmit(msg, on_transmit);
+    transmit(msg, on_transmit, curTick());
 }
 
 void
 Link::transmit(const WireMessagePtr &msg,
-               const std::function<void()> &on_transmit)
+               const std::function<void()> &on_transmit, Tick enqueued)
 {
     Tick now = curTick();
     Tick start = std::max(now, _busy_until);
@@ -110,6 +117,30 @@ Link::transmit(const WireMessagePtr &msg,
     _data_bytes += static_cast<double>(msg->data_bytes);
     ++_messages;
     _busy_ticks += static_cast<double>(tx_ticks);
+    _bytes_tx += static_cast<double>(msg->wireBytes());
+    ++_msgs_tx;
+    Tick wait = start - enqueued;
+    _wait_ticks += static_cast<double>(wait);
+
+    if (_flows) {
+        obs::FlowCollector::LinkTransmit tx;
+        tx.link = _flow_link_id;
+        tx.src = msg->src;
+        tx.dst = msg->dst;
+        tx.enqueued = enqueued;
+        tx.start = start;
+        tx.tx_ticks = tx_ticks;
+        tx.wire_bytes = msg->wireBytes();
+        tx.payload_bytes = msg->payload_bytes;
+        tx.data_bytes = msg->data_bytes;
+        tx.have_occupant = _have_occupant;
+        tx.occupant_src = _occupant_src;
+        tx.occupant_dst = _occupant_dst;
+        _flows->recordTransmit(tx);
+    }
+    _have_occupant = true;
+    _occupant_src = msg->src;
+    _occupant_dst = msg->dst;
 
     KindStats &kind = _by_kind[static_cast<std::size_t>(msg->kind)];
     kind.payload_bytes += msg->payload_bytes;
@@ -165,6 +196,9 @@ Link::resetStats()
     _data_bytes.reset();
     _messages.reset();
     _busy_ticks.reset();
+    _bytes_tx.reset();
+    _msgs_tx.reset();
+    _wait_ticks.reset();
     _credit_stalls.reset();
     _by_kind.fill(KindStats{});
 }

@@ -21,6 +21,10 @@
 #include "interconnect/message.hh"
 #include "obs/trace_event.hh"
 
+namespace fp::obs {
+class FlowCollector;
+} // namespace fp::obs
+
 namespace fp::icn {
 
 /** One direction of a point-to-point interconnect link. */
@@ -99,6 +103,15 @@ class Link : public common::SimObject
     { return static_cast<std::uint64_t>(_messages.value()); }
     Tick busyTicks() const
     { return static_cast<Tick>(_busy_ticks.value()); }
+    /** Wire bytes transmitted (payload + header); goodput per link. */
+    std::uint64_t bytesTx() const
+    { return static_cast<std::uint64_t>(_bytes_tx.value()); }
+    /** Messages transmitted (serialization starts). */
+    std::uint64_t msgsTx() const
+    { return static_cast<std::uint64_t>(_msgs_tx.value()); }
+    /** Ticks messages spent queued (busy link or credit stall). */
+    Tick queueWaitTicks() const
+    { return static_cast<Tick>(_wait_ticks.value()); }
 
     void resetStats();
 
@@ -115,10 +128,24 @@ class Link : public common::SimObject
         _trace_tid = tid;
     }
 
+    /**
+     * Attach a flow collector (nullptr detaches): every serialization
+     * start is reported under @p link_id with its (src, dst) flow,
+     * enqueue-to-start queue wait, and the occupant flow any wait is
+     * charged to (docs/fabric_observability.md).
+     */
+    void
+    setFlowCollector(obs::FlowCollector *flows, std::uint32_t link_id)
+    {
+        _flows = flows;
+        _flow_link_id = link_id;
+    }
+
   private:
     /** Begin serializing a message (credits already consumed). */
     void transmit(const WireMessagePtr &msg,
-                  const std::function<void()> &on_transmit);
+                  const std::function<void()> &on_transmit,
+                  Tick enqueued);
     /** Start any waiting messages that now fit the credit budget. */
     void drainWaiting();
 
@@ -127,20 +154,37 @@ class Link : public common::SimObject
     DeliverFn _deliver;
     Tick _busy_until = 0;
 
+    /** A credit-stalled message and the tick it was enqueued. */
+    struct Pending
+    {
+        WireMessagePtr msg;
+        std::function<void()> on_transmit;
+        Tick enqueued = 0;
+    };
+
     std::uint64_t _credit_limit = 0; // 0 = unlimited
     std::uint64_t _credits_in_use = 0;
-    std::deque<std::pair<WireMessagePtr, std::function<void()>>>
-        _waiting;
+    std::deque<Pending> _waiting;
 
     obs::TraceSink *_tracer = nullptr;
     std::uint32_t _trace_pid = 0;
     std::uint32_t _trace_tid = 0;
+
+    obs::FlowCollector *_flows = nullptr;
+    std::uint32_t _flow_link_id = 0;
+    /** Flow of the most recently transmitted message (wait charging). */
+    bool _have_occupant = false;
+    GpuId _occupant_src = 0;
+    GpuId _occupant_dst = 0;
 
     common::Scalar _payload_bytes;
     common::Scalar _header_bytes;
     common::Scalar _data_bytes;
     common::Scalar _messages;
     common::Scalar _busy_ticks;
+    common::Scalar _bytes_tx;
+    common::Scalar _msgs_tx;
+    common::Scalar _wait_ticks;
     common::Scalar _credit_stalls;
     std::array<KindStats, message_kind_count> _by_kind{};
 };

@@ -1,5 +1,7 @@
 #include "interconnect/topology.hh"
 
+#include "obs/flow.hh"
+
 namespace fp::icn {
 
 FabricParams
@@ -60,6 +62,10 @@ SwitchedFabric::inject(const WireMessagePtr &msg)
     msg->timing.created = curTick();
     if (_tracer && _tracer->full())
         msg->timing.flow_id = ++_next_flow_id;
+    if (_flows)
+        _flows->recordInject(msg->src, msg->dst, msg->wireBytes(),
+                             msg->payload_bytes, msg->data_bytes,
+                             msg->packed_store_count);
     _uplinks[msg->src]->send(msg);
 }
 
@@ -138,6 +144,26 @@ SwitchedFabric::setTracer(obs::TraceSink *tracer)
                                obs::lane_uplink);
         _downlinks[g]->setTracer(tracer, obs::tracePidGpu(g),
                                  obs::lane_downlink);
+    }
+}
+
+void
+SwitchedFabric::setFlowCollector(obs::FlowCollector *flows)
+{
+    _flows = flows;
+    for (std::uint32_t g = 0; g < _num_gpus; ++g) {
+        _uplinks[g]->setFlowCollector(
+            flows,
+            flows ? flows->registerLink(
+                        _uplinks[g]->name(),
+                        obs::FlowCollector::LinkKind::uplink, g)
+                  : 0);
+        _downlinks[g]->setFlowCollector(
+            flows,
+            flows ? flows->registerLink(
+                        _downlinks[g]->name(),
+                        obs::FlowCollector::LinkKind::downlink, g)
+                  : 0);
     }
 }
 

@@ -94,6 +94,14 @@ class SwitchedFabric : public common::SimObject
      */
     void setTracer(obs::TraceSink *tracer);
 
+    /**
+     * Attach a flow collector (nullptr detaches): registers every
+     * link with it and accounts each injected message against its
+     * src -> dst flow. Call after FlowCollector::beginRun() sized for
+     * this fabric's GPU count.
+     */
+    void setFlowCollector(obs::FlowCollector *flows);
+
   private:
     void forward(const WireMessagePtr &msg);
 
@@ -103,6 +111,7 @@ class SwitchedFabric : public common::SimObject
     std::vector<std::unique_ptr<Link>> _downlinks;
     std::vector<IngressFn> _ingress;
     obs::TraceSink *_tracer = nullptr;
+    obs::FlowCollector *_flows = nullptr;
     /** Deterministic flow-event chain ids (full trace detail only). */
     std::uint64_t _next_flow_id = 0;
 };

@@ -5,6 +5,7 @@
 #include "common/build_info.hh"
 #include "common/json.hh"
 #include "common/stats.hh"
+#include "obs/flow.hh"
 #include "obs/profiler.hh"
 
 namespace fp::obs {
@@ -28,7 +29,8 @@ MetricsCapture::groupsJson() const
 void
 MetricsCapture::writeDocument(std::ostream &os,
                               const PeriodicSampler *sampler,
-                              const Profiler *profiler) const
+                              const Profiler *profiler,
+                              const FlowCollector *flows) const
 {
     // The groups snapshot is already-serialized JSON, so the document
     // frame is spliced by hand around it.
@@ -51,6 +53,11 @@ MetricsCapture::writeDocument(std::ostream &os,
         os << ",\"host\":";
         common::JsonWriter json(os);
         profiler->dumpJson(json);
+    }
+    if (flows) {
+        os << ",\"fabric\":";
+        common::JsonWriter json(os);
+        flows->dumpJson(json);
     }
     os << "}\n";
 }

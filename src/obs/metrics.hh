@@ -20,6 +20,7 @@
 
 namespace fp::obs {
 
+class FlowCollector;
 class Profiler;
 
 class MetricsCapture
@@ -40,15 +41,17 @@ class MetricsCapture
     /**
      * Write the complete stats document: schema version, build
      * provenance, the captured groups, (when @p sampler is non-null)
-     * its time series, and (when @p profiler is non-null) the
-     * host-side self-profiling section. Provenance is constant per
-     * binary and the `host` key only appears when profiling is
-     * requested, so digesting the default-argument document stays
-     * stable across profiled and unprofiled runs.
+     * its time series, (when @p profiler is non-null) the host-side
+     * self-profiling section, and (when @p flows is non-null) the
+     * fabric flow-observability section. Provenance is constant per
+     * binary and the `host` / `fabric` keys only appear when
+     * explicitly requested, so digesting the default-argument document
+     * stays stable across instrumented and plain runs.
      */
     void writeDocument(std::ostream &os,
                        const PeriodicSampler *sampler = nullptr,
-                       const Profiler *profiler = nullptr) const;
+                       const Profiler *profiler = nullptr,
+                       const FlowCollector *flows = nullptr) const;
 
   private:
     std::string _groups_json;

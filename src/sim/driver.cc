@@ -14,6 +14,7 @@
 #include "gpu/egress_port.hh"
 #include "gpu/ingress_port.hh"
 #include "interconnect/topology.hh"
+#include "obs/flow.hh"
 #include "obs/latency.hh"
 #include "obs/metrics.hh"
 #include "obs/profiler.hh"
@@ -270,6 +271,13 @@ SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
             port->setLatencyCollector(latency);
     }
 
+    if (obs::FlowCollector *flows = _config.flows) {
+        flows->beginRun(gpus);
+        sys.fabric->setFlowCollector(flows);
+        for (auto &port : sys.ingress)
+            port->setFlowCollector(flows);
+    }
+
     obs::PeriodicSampler *sampler = _config.sampler;
     if (sampler) {
         sampler->beginRun();
@@ -457,6 +465,10 @@ SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
 
     result.total_time = t;
     result.events_processed = sys.queue.eventsProcessed();
+    // Close the flow collector's run: total_time is the utilization
+    // denominator (it bounds every link's serialization end).
+    if (_config.flows)
+        _config.flows->endRun(result.total_time);
     total_host_events.fetch_add(result.events_processed,
                                 std::memory_order_relaxed);
 

@@ -29,6 +29,7 @@ class EventQueueObserver;
 } // namespace fp::common
 
 namespace fp::obs {
+class FlowCollector;
 class LatencyCollector;
 class MetricsCapture;
 class PeriodicSampler;
@@ -89,6 +90,14 @@ struct SimConfig
      * Event-driven paradigms only; see docs/latency.md.
      */
     obs::LatencyCollector *latency = nullptr;
+    /**
+     * Fabric flow collector: when set, the fabric registers its links
+     * with it, every link reports serialization starts (with queue
+     * wait charged to the occupying flow), and ingress ports close the
+     * per-flow conservation ledger. Event-driven paradigms only; see
+     * docs/fabric_observability.md.
+     */
+    obs::FlowCollector *flows = nullptr;
     /**
      * Host-side self-profiler: attaches to the event queue for the
      * duration of each run and attributes *wall-clock* handler time to

@@ -6,6 +6,7 @@
 
 #include "common/event_queue.hh"
 #include "interconnect/link.hh"
+#include "obs/flow.hh"
 
 using namespace fp;
 using namespace fp::icn;
@@ -145,6 +146,65 @@ TEST(LinkTest, ResetStatsClearsEverything)
     EXPECT_EQ(link.totalWireBytes(), 0u);
     EXPECT_EQ(link.messageCount(), 0u);
     EXPECT_EQ(link.kindStats(MessageKind::raw_store).messages, 0u);
+}
+
+TEST(LinkTest, TxScalarsTrackWireTraffic)
+{
+    common::EventQueue queue;
+    Link link("l", queue, 1.0, 0, nullptr);
+    link.send(makeMessage(100, 20));
+    link.send(makeMessage(50, 10)); // queued behind the first
+    queue.run();
+    EXPECT_EQ(link.bytesTx(), 180u);
+    EXPECT_EQ(link.msgsTx(), 2u);
+    // The second message enqueued at 0 but started at 120.
+    EXPECT_EQ(link.queueWaitTicks(), 120u);
+}
+
+TEST(LinkTest, ResetStatsClearsTxScalars)
+{
+    common::EventQueue queue;
+    Link link("l", queue, 1.0, 0, nullptr);
+    link.send(makeMessage(100, 20));
+    link.send(makeMessage(50, 10));
+    queue.run();
+    link.resetStats();
+    EXPECT_EQ(link.bytesTx(), 0u);
+    EXPECT_EQ(link.msgsTx(), 0u);
+    EXPECT_EQ(link.queueWaitTicks(), 0u);
+}
+
+TEST(LinkTest, FlowCollectorSeesTransmitsAndOccupantWait)
+{
+    common::EventQueue queue;
+    obs::FlowCollector flows(1000);
+    flows.beginRun(2);
+    Link link("l", queue, 1.0, 0, nullptr);
+    std::uint32_t id = flows.registerLink(
+        link.name(), obs::FlowCollector::LinkKind::uplink, 0);
+    link.setFlowCollector(&flows, id);
+
+    link.send(makeMessage(100, 0));
+    link.send(makeMessage(50, 0)); // waits 100 ticks behind the first
+    queue.run();
+    flows.endRun(queue.now());
+
+    const auto &stats = flows.links()[id];
+    EXPECT_EQ(stats.msgs, 2u);
+    EXPECT_EQ(stats.wire_bytes, 150u);
+    EXPECT_EQ(stats.busy_ticks, 150u);
+    EXPECT_EQ(stats.wait_ticks, 100u);
+    // Both messages belong to flow g0->g1, so the wait self-attributes
+    // through the occupant (the first message), not the fallback.
+    EXPECT_EQ(flows.flow(0, 1).delay_caused_ticks, 100u);
+    EXPECT_EQ(flows.flow(0, 1).delay_suffered_ticks, 100u);
+    EXPECT_EQ(flows.interferenceTicks(0, 0), 100u);
+
+    // Detaching stops the reporting.
+    link.setFlowCollector(nullptr, 0);
+    link.send(makeMessage(10, 0));
+    queue.run();
+    EXPECT_EQ(flows.links()[id].msgs, 2u);
 }
 
 TEST(LinkTest, DeliveryPreservesMessageContents)

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The fabric flow collector must be a pure observer: attaching it to a
+ * checked finepack run may change nothing the simulation produces -
+ * not the oracle digest, not the stats document, not any RunResult
+ * field. This is the digest-neutrality gate promised in
+ * src/obs/flow.hh; it mirrors tests/sim/profiler_digest_test.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/flow.hh"
+#include "obs/metrics.hh"
+#include "obs/sampler.hh"
+#include "sim/driver.hh"
+#include "sim/trace_cache.hh"
+#include "workloads/workload.hh"
+#include "../support/mini_json.hh"
+
+using namespace fp;
+using namespace fp::sim;
+using fp::testing::parseJson;
+
+namespace {
+
+const trace::WorkloadTrace &
+smallTrace(const std::string &name)
+{
+    workloads::WorkloadParams params;
+    params.num_gpus = 4;
+    params.scale = 0.05;
+    params.seed = 42;
+    return TraceCache::instance().get(name, params);
+}
+
+/** One checked, fully instrumented run; flow collector optional. */
+struct CheckedRun
+{
+    obs::PeriodicSampler sampler{10 * ticks_per_us};
+    obs::MetricsCapture metrics;
+    RunResult result;
+
+    explicit CheckedRun(const trace::WorkloadTrace &trace,
+                        obs::FlowCollector *flows = nullptr)
+    {
+        SimConfig config;
+        config.check = true;
+        config.sampler = &sampler;
+        config.metrics = &metrics;
+        config.flows = flows;
+        result = SimulationDriver(config).run(trace, Paradigm::finepack);
+    }
+
+    /** The stats document, serialized WITHOUT a fabric section. */
+    std::string
+    document()
+    {
+        std::ostringstream os;
+        metrics.writeDocument(os, &sampler);
+        return os.str();
+    }
+};
+
+} // namespace
+
+TEST(FabricDigest, ObservedRunIsBitIdenticalToPlainRun)
+{
+    const auto &trace = smallTrace("pagerank");
+    CheckedRun plain(trace);
+    obs::FlowCollector flows;
+    CheckedRun observed(trace, &flows);
+
+    // The oracle verified real work in both runs...
+    ASSERT_GT(plain.result.oracle_transactions, 0u);
+    ASSERT_NE(plain.result.oracle_digest, 0u);
+    // ... and the collector actually observed the run it rode on.
+    ASSERT_GT(flows.activeFlows(), 0u);
+    ASSERT_GT(flows.totalBusyTicks(), 0u);
+
+    EXPECT_EQ(observed.result.oracle_digest, plain.result.oracle_digest);
+    EXPECT_EQ(observed.result.oracle_transactions,
+              plain.result.oracle_transactions);
+    EXPECT_EQ(observed.result.oracle_stores, plain.result.oracle_stores);
+    EXPECT_EQ(observed.result.oracle_bytes, plain.result.oracle_bytes);
+    EXPECT_EQ(observed.result.total_time, plain.result.total_time);
+    EXPECT_EQ(observed.result.wire_bytes, plain.result.wire_bytes);
+    EXPECT_EQ(observed.result.payload_bytes, plain.result.payload_bytes);
+    EXPECT_EQ(observed.result.header_bytes, plain.result.header_bytes);
+    EXPECT_EQ(observed.result.data_bytes, plain.result.data_bytes);
+    EXPECT_EQ(observed.result.messages, plain.result.messages);
+    EXPECT_EQ(observed.result.useful_bytes, plain.result.useful_bytes);
+    EXPECT_EQ(observed.result.protocol_bytes,
+              plain.result.protocol_bytes);
+    EXPECT_EQ(observed.result.wasted_bytes, plain.result.wasted_bytes);
+    EXPECT_EQ(observed.result.finepack_packets,
+              plain.result.finepack_packets);
+    EXPECT_EQ(observed.result.events_processed,
+              plain.result.events_processed);
+
+    // The serialized stats document (groups + timeseries + provenance)
+    // is byte-identical: the collector registers no StatGroups and the
+    // fabric section appears only when writeDocument is asked for it.
+    EXPECT_EQ(observed.document(), plain.document());
+}
+
+TEST(FabricDigest, FabricSectionAppearsOnlyWhenRequested)
+{
+    const auto &trace = smallTrace("pagerank");
+    obs::FlowCollector flows;
+    CheckedRun run(trace, &flows);
+
+    auto without = parseJson(run.document());
+    EXPECT_FALSE(without.has("fabric"));
+    EXPECT_TRUE(without.has("provenance"));
+
+    std::ostringstream os;
+    run.metrics.writeDocument(os, &run.sampler, nullptr, &flows);
+    auto with = parseJson(os.str());
+    ASSERT_TRUE(with.has("fabric"));
+    EXPECT_GT(with.at("fabric").at("totals").at("busy_ticks").number,
+              0.0);
+    EXPECT_GT(with.at("fabric").at("totals").at("active_flows").number,
+              0.0);
+    // Opting in must not disturb the simulated sections.
+    std::ostringstream plain_os;
+    run.metrics.writeDocument(plain_os, &run.sampler);
+    auto plain = parseJson(plain_os.str());
+    EXPECT_EQ(with.at("groups").array.size(),
+              plain.at("groups").array.size());
+}
+
+TEST(FabricDigest, CollectorIsReattachableAcrossRuns)
+{
+    const auto &trace = smallTrace("jacobi");
+    obs::FlowCollector flows;
+    RunResult first, second;
+    {
+        SimConfig config;
+        config.flows = &flows;
+        SimulationDriver driver(config);
+        first = driver.run(trace, Paradigm::finepack);
+        second = driver.run(trace, Paradigm::finepack);
+    }
+    // beginRun resets the ledgers, so the second rep stands alone and
+    // matches the first exactly (deterministic simulation).
+    EXPECT_EQ(first.total_time, second.total_time);
+    EXPECT_EQ(first.wire_bytes, second.wire_bytes);
+    EXPECT_EQ(flows.endTick(), second.total_time);
+    std::uint64_t injected = 0;
+    for (GpuId src = 0; src < flows.numGpus(); ++src)
+        for (GpuId dst = 0; dst < flows.numGpus(); ++dst)
+            injected += flows.flow(src, dst).injected_wire_bytes;
+    EXPECT_EQ(injected, second.wire_bytes);
+}

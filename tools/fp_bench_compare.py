@@ -8,7 +8,9 @@ Every bench binary accepts `--json FILE` and writes a flat document
 This tool diffs one or more such files against `bench/baselines/<bench>.json`
 and fails (exit 1) when any metric drifts outside its tolerance, when the
 metric name sets diverge, or when scale / schema_version differ (a baseline
-recorded at another scale is not comparable).
+recorded at another scale is not comparable). A failing bench's summary
+line names the worst-offending metric - the one with the largest relative
+drift - so CI logs point straight at the regression.
 
 Tolerances are relative, default 2%. Per-metric overrides live in
 `bench/baselines/tolerances.json`:
@@ -100,15 +102,18 @@ def drop_host_metrics(metrics):
             if not name.startswith(HOST_PREFIX)}
 
 
-def compare(current: Path, baseline_dir: Path, tolerances, default_pct,
-            include_host=False):
-    """Return a list of failure strings (empty = pass)."""
+def compare_detailed(current: Path, baseline_dir: Path, tolerances,
+                     default_pct, include_host=False):
+    """Return (failures, worst) where failures is a list of strings
+    (empty = pass) and worst is the largest-relative-drift offending
+    metric as a (name, rel_pct, tolerance_pct) tuple, or None when no
+    metric drifted (structural failures only)."""
     cur = load(current)
     bench = cur["bench"]
     base_path = baseline_dir / f"{bench}.json"
     if not base_path.exists():
-        return [f"{bench}: no baseline at {base_path} "
-                f"(record one with --update)"]
+        return ([f"{bench}: no baseline at {base_path} "
+                 f"(record one with --update)"], None)
     base = load(base_path)
     if not include_host:
         cur = dict(cur, metrics=drop_host_metrics(cur["metrics"]))
@@ -123,7 +128,7 @@ def compare(current: Path, baseline_dir: Path, tolerances, default_pct,
         failures.append(
             f"{bench}: scale {cur['scale']} != baseline {base['scale']} "
             f"(re-record the baseline at this scale)")
-        return failures
+        return (failures, None)
 
     cur_names = set(cur["metrics"])
     base_names = set(base["metrics"])
@@ -133,6 +138,7 @@ def compare(current: Path, baseline_dir: Path, tolerances, default_pct,
         failures.append(f"{bench}: new metric '{name}' not in baseline "
                         f"(re-record with --update)")
 
+    worst = None
     for name in sorted(cur_names & base_names):
         cur_v = float(cur["metrics"][name])
         base_v = float(base["metrics"][name])
@@ -147,7 +153,16 @@ def compare(current: Path, baseline_dir: Path, tolerances, default_pct,
             failures.append(
                 f"{bench}: {name} = {cur_v:.6g}, baseline {base_v:.6g} "
                 f"(drift {rel:.2f}% > tolerance {pct:g}%)")
-    return failures
+            if worst is None or rel > worst[1]:
+                worst = (name, rel, pct)
+    return (failures, worst)
+
+
+def compare(current: Path, baseline_dir: Path, tolerances, default_pct,
+            include_host=False):
+    """Return a list of failure strings (empty = pass)."""
+    return compare_detailed(current, baseline_dir, tolerances,
+                            default_pct, include_host)[0]
 
 
 def main():
@@ -179,12 +194,18 @@ def main():
     tolerances = load_tolerances(args.baseline_dir)
     all_failures = []
     for path in args.current:
-        failures = compare(path, args.baseline_dir, tolerances,
-                           args.tolerance, args.include_host)
+        failures, worst = compare_detailed(path, args.baseline_dir,
+                                           tolerances, args.tolerance,
+                                           args.include_host)
         bench = load(path)["bench"]
         if failures:
             all_failures.extend(failures)
-            print(f"FAIL {bench} ({len(failures)} issue(s))")
+            if worst is not None:
+                name, rel, pct = worst
+                print(f"FAIL {bench} ({len(failures)} issue(s); worst: "
+                      f"{name} drift {rel:.2f}% > {pct:g}%)")
+            else:
+                print(f"FAIL {bench} ({len(failures)} issue(s))")
         else:
             print(f"ok   {bench}")
     if all_failures:

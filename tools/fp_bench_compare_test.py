@@ -139,5 +139,79 @@ class CompareHostFilterTest(unittest.TestCase):
                              tolerances=tolerances)), 1)
 
 
+class WorstOffenderTest(unittest.TestCase):
+    """compare_detailed() must name the largest relative drift."""
+
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.dir = Path(self._tmp.name)
+        self.baseline_dir = self.dir / "baselines"
+        self.baseline_dir.mkdir()
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, name, document):
+        path = self.dir / name
+        path.write_text(json.dumps(document))
+        return path
+
+    def write_baseline(self, document):
+        path = self.baseline_dir / f"{document['bench']}.json"
+        path.write_text(json.dumps(document))
+        return path
+
+    def detailed(self, current, tolerances=None):
+        return fbc.compare_detailed(current, self.baseline_dir,
+                                    tolerances or {}, 2.0, False)
+
+    def test_worst_is_largest_relative_drift(self):
+        self.write_baseline(doc(metrics={"a": 100.0, "b": 100.0,
+                                         "c": 100.0}))
+        cur = self.write("cur.json",
+                         doc(metrics={"a": 105.0,   # 5% drift
+                                      "b": 150.0,   # 50% drift
+                                      "c": 100.0})) # clean
+        failures, worst = self.detailed(cur)
+        self.assertEqual(len(failures), 2)
+        self.assertIsNotNone(worst)
+        name, rel, pct = worst
+        self.assertEqual(name, "b")
+        self.assertAlmostEqual(rel, 50.0)
+        self.assertEqual(pct, 2.0)
+
+    def test_worst_respects_per_metric_tolerance(self):
+        # a drifts more, but its loose tolerance passes it; b is the
+        # only (and hence worst) offender.
+        tolerances = {"*": {"a": 50}}
+        self.write_baseline(doc(metrics={"a": 100.0, "b": 100.0}))
+        cur = self.write("cur.json",
+                         doc(metrics={"a": 140.0, "b": 110.0}))
+        failures, worst = self.detailed(cur, tolerances)
+        self.assertEqual(len(failures), 1)
+        self.assertEqual(worst[0], "b")
+
+    def test_structural_failures_have_no_worst(self):
+        self.write_baseline(doc(metrics={"a": 1.0}))
+        cur = self.write("cur.json", doc(metrics={"a": 1.0, "new": 2.0}))
+        failures, worst = self.detailed(cur)
+        self.assertEqual(len(failures), 1)
+        self.assertIsNone(worst)
+
+    def test_clean_compare_has_no_worst(self):
+        self.write_baseline(doc(metrics={"a": 1.0}))
+        cur = self.write("cur.json", doc(metrics={"a": 1.0}))
+        failures, worst = self.detailed(cur)
+        self.assertEqual(failures, [])
+        self.assertIsNone(worst)
+
+    def test_compare_wrapper_stays_compatible(self):
+        self.write_baseline(doc(metrics={"a": 100.0}))
+        cur = self.write("cur.json", doc(metrics={"a": 150.0}))
+        self.assertEqual(
+            fbc.compare(cur, self.baseline_dir, {}, 2.0, False),
+            self.detailed(cur)[0])
+
+
 if __name__ == "__main__":
     unittest.main()

@@ -155,9 +155,13 @@ def unordered_names(lines):
         m = UNORDERED_DECL.search(line)
         if not m:
             continue
-        # Fold continuation lines until the template brackets balance.
+        # Fold continuation lines until the template brackets balance
+        # AND a declared name binds -- the name itself may sit on the
+        # line after the closing '>' (`std::unordered_map<K, V>\n
+        # name;`).
         for joined in lines[idx + 1:idx + 6]:
-            if template_close(line, m.end() - 1) is not None:
+            close = template_close(line, m.end() - 1)
+            if close is not None and DECL_NAME.search(line[close:]):
                 break
             line = line + " " + strip_noise(joined)
         close = template_close(line, m.end() - 1)

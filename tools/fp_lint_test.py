@@ -142,6 +142,36 @@ class UnorderedIterationTest(LintCase):
             "        use(kv);\n"
             "}\n")), [])
 
+    def test_telemetry_ledger_emission_flagged(self):
+        # The fabric-observability failure mode: a per-link contention
+        # ledger declared unordered in the header, serialized straight
+        # into a keyed JSON object from the .cc. Iteration order would
+        # leak into the stats document and break digest comparisons.
+        self.write("flow.hh", (
+            "class Collector {\n"
+            "    std::unordered_map<std::pair<int, int>, Tick>\n"
+            "        _interference FP_GUARDED_BY(_mu);\n"
+            "};\n"))
+        found = self.lint("flow.cc", (
+            "void Collector::dumpJson(JsonWriter &json) {\n"
+            "    for (const auto &[flows, ticks] : _interference)\n"
+            "        json.kv(name(flows), ticks);\n"
+            "}\n"))
+        self.assertEqual(found, [("unordered-iteration", 2)])
+
+    def test_sorted_ledger_emission_not_flagged(self):
+        # The pattern src/obs/flow.cc actually uses: an ordered map
+        # keyed by (flow, flow), so JSON keys sort deterministically.
+        self.write("flow2.hh", (
+            "class Collector {\n"
+            "    std::map<std::pair<int, int>, Tick> _interference;\n"
+            "};\n"))
+        self.assertEqual(self.lint("flow2.cc", (
+            "void Collector::dumpJson(JsonWriter &json) {\n"
+            "    for (const auto &[flows, ticks] : _interference)\n"
+            "        json.kv(name(flows), ticks);\n"
+            "}\n")), [])
+
 
 class RawConcurrencyTest(LintCase):
     def test_primitives_and_detach_flagged(self):

@@ -10,7 +10,8 @@
  *   replay <trace.fpt> [--paradigm P] [--pcie GEN] [--check]
  *          [--stats-json FILE] [--trace-out FILE]
  *          [--trace-detail full|flush|off] [--sample-ns N]
- *          [--no-latency]
+ *          [--no-latency] [--fabric-report] [--json FILE]
+ *          [--fabric-window-ns N]
  *       Simulate a serialized trace under one paradigm. With --check,
  *       the shadow-memory protocol oracle verifies every FinePack
  *       transaction byte-for-byte against the issued store stream.
@@ -21,6 +22,13 @@
  *       histograms land in the stats JSON, a one-line p50/p99 summary
  *       prints otherwise, and at --trace-detail full each message gets
  *       a flow-event chain; --no-latency disables the stamping.
+ *       --fabric-report attaches the obs::FlowCollector
+ *       (docs/fabric_observability.md) and prints per-link
+ *       utilization, the per-flow accounting table, and the N x N
+ *       contention-attribution matrix; it also adds per-link
+ *       utilization / queue-depth counter tracks to --trace-out, a
+ *       `fabric` section to --stats-json, and (with --json FILE) a
+ *       machine-readable fabric report document.
  *   profile <trace.fpt> [--paradigm P] [--pcie GEN] [--reps N]
  *           [--top N] [--json FILE]
  *       Host-side self-profiling (docs/profiling.md): replay the trace
@@ -43,6 +51,7 @@
  *       List the available workloads.
  */
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -55,6 +64,7 @@
 #include "common/build_info.hh"
 #include "common/json.hh"
 #include "common/table.hh"
+#include "obs/flow.hh"
 #include "obs/latency.hh"
 #include "obs/metrics.hh"
 #include "obs/profiler.hh"
@@ -82,6 +92,8 @@ usage()
            "                 [--trace-detail full|flush|off]"
            " [--sample-ns N]\n"
            "                 [--no-latency] [--profile]\n"
+           "                 [--fabric-report] [--json FILE]"
+           " [--fabric-window-ns N]\n"
            "  fptrace profile <trace.fpt> [--paradigm P]"
            " [--pcie 3|4|5|6]\n"
            "                 [--reps N] [--top N] [--json FILE]\n"
@@ -213,6 +225,140 @@ cmdInfo(int argc, char **argv)
     return 0;
 }
 
+/** Ticks (ps) rendered as microseconds with one decimal. */
+std::string
+usStr(Tick ticks)
+{
+    return common::Table::num(
+        static_cast<double>(ticks) / static_cast<double>(ticks_per_us),
+        1);
+}
+
+/**
+ * The human-readable --fabric-report: a one-line summary, the top-k
+ * hot links, the per-flow accounting table, and the fabric-wide
+ * contention-attribution matrix (full data: --json / --stats-json).
+ */
+void
+printFabricReport(const obs::FlowCollector &flows)
+{
+    const auto &links = flows.links();
+    std::cout << "fabric:     " << links.size() << " links, "
+              << flows.activeFlows() << " active flows, busy "
+              << usStr(flows.totalBusyTicks()) << " us, queue wait "
+              << usStr(flows.totalWaitTicks()) << " us, packing "
+              << common::Table::num(flows.packingEfficiency() * 100.0, 1)
+              << "% of wire bytes\n";
+
+    common::Table hot("hottest links (lifetime utilization)");
+    hot.setHeader(
+        {"link", "util %", "msgs", "wire KiB", "busy us", "wait us"});
+    for (std::uint32_t i : flows.hottestLinks(8)) {
+        const auto &link = links[i];
+        hot.addRow({link.name,
+                    common::Table::num(
+                        flows.linkUtilization(link) * 100.0, 1),
+                    std::to_string(link.msgs),
+                    std::to_string(link.wire_bytes / KiB),
+                    usStr(link.busy_ticks), usStr(link.wait_ticks)});
+    }
+    hot.print(std::cout);
+
+    struct FlowRow
+    {
+        GpuId src = 0;
+        GpuId dst = 0;
+        const obs::FlowCollector::FlowStats *flow = nullptr;
+    };
+    std::vector<FlowRow> rows;
+    for (GpuId src = 0; src < flows.numGpus(); ++src)
+        for (GpuId dst = 0; dst < flows.numGpus(); ++dst)
+            if (src != dst && flows.flow(src, dst).active())
+                rows.push_back({src, dst, &flows.flow(src, dst)});
+    std::sort(rows.begin(), rows.end(),
+              [](const FlowRow &a, const FlowRow &b) {
+                  if (a.flow->injected_wire_bytes !=
+                      b.flow->injected_wire_bytes)
+                      return a.flow->injected_wire_bytes >
+                             b.flow->injected_wire_bytes;
+                  if (a.src != b.src)
+                      return a.src < b.src;
+                  return a.dst < b.dst;
+              });
+    constexpr std::size_t max_flow_rows = 16;
+    bool truncated = rows.size() > max_flow_rows;
+    if (truncated)
+        rows.resize(max_flow_rows);
+
+    common::Table per_flow(
+        truncated ? "per-flow accounting (top 16 by wire bytes; "
+                    "--json for all)"
+                  : "per-flow accounting");
+    per_flow.setHeader({"flow", "msgs", "wire KiB", "packing %",
+                        "up wait us", "down wait us", "caused us",
+                        "suffered us"});
+    for (const FlowRow &row : rows) {
+        const auto &flow = *row.flow;
+        per_flow.addRow(
+            {obs::FlowCollector::flowName(row.src, row.dst),
+             std::to_string(flow.injected_msgs),
+             std::to_string(flow.injected_wire_bytes / KiB),
+             common::Table::num(
+                 flow.injected_wire_bytes
+                     ? 100.0 *
+                           static_cast<double>(flow.injected_data_bytes) /
+                           static_cast<double>(flow.injected_wire_bytes)
+                     : 0.0,
+                 1),
+             usStr(flow.uplink_wait_ticks),
+             usStr(flow.downlink_wait_ticks),
+             usStr(flow.delay_caused_ticks),
+             usStr(flow.delay_suffered_ticks)});
+    }
+    per_flow.print(std::cout);
+
+    common::Table matrix(
+        "contention attribution (us; row delayed column's traffic)");
+    std::vector<std::string> header = {"delayer"};
+    for (GpuId on = 0; on < flows.numGpus(); ++on)
+        header.push_back("g" + std::to_string(on));
+    matrix.setHeader(header);
+    for (GpuId by = 0; by < flows.numGpus(); ++by) {
+        std::vector<std::string> cells = {"g" + std::to_string(by)};
+        for (GpuId on = 0; on < flows.numGpus(); ++on)
+            cells.push_back(usStr(flows.interferenceTicks(by, on)));
+        matrix.addRow(cells);
+    }
+    matrix.print(std::cout);
+}
+
+/** The machine-readable fabric report document (--fabric-report --json). */
+void
+writeFabricJson(const char *path, const char *trace_path,
+                const trace::WorkloadTrace &trace,
+                sim::Paradigm paradigm, icn::PcieGen pcie,
+                const obs::FlowCollector &flows)
+{
+    std::ofstream out(path);
+    if (!out)
+        fp_fatal("cannot open ", path, " for writing");
+    common::JsonWriter json(out);
+    json.beginObject();
+    json.kv("schema_version", 1);
+    json.kv("kind", "fabric");
+    json.key("provenance");
+    common::dumpBuildInfoJson(json);
+    json.kv("trace", trace_path);
+    json.kv("workload", trace.workload);
+    json.kv("paradigm", toString(paradigm));
+    json.kv("pcie", toString(pcie));
+    json.kv("gpus", trace.num_gpus);
+    json.key("fabric");
+    flows.dumpJson(json);
+    json.endObject();
+    out << "\n";
+}
+
 int
 cmdReplay(int argc, char **argv)
 {
@@ -244,11 +390,18 @@ cmdReplay(int argc, char **argv)
     if (sample_ns == 0)
         sample_ns = 1000;
 
+    auto fabric_window_ns = static_cast<Tick>(
+        std::atoll(argValue(argc, argv, "--fabric-window-ns", "1000")));
+    if (fabric_window_ns == 0)
+        fabric_window_ns = 1000;
+    const char *fabric_json = argValue(argc, argv, "--json", "");
+
     obs::TraceSink tracer(detail);
     obs::PeriodicSampler sampler(sample_ns * ticks_per_ns);
     obs::MetricsCapture metrics;
     obs::LatencyCollector latency;
     obs::Profiler profiler;
+    obs::FlowCollector flows(fabric_window_ns * ticks_per_ns);
     if (*trace_path != '\0' && detail != obs::TraceDetail::off)
         config.tracer = &tracer;
     if (*stats_path != '\0') {
@@ -263,6 +416,9 @@ cmdReplay(int argc, char **argv)
     bool want_profile = hasFlag(argc, argv, "--profile");
     if (want_profile)
         config.profiler = &profiler;
+    bool fabric_report = hasFlag(argc, argv, "--fabric-report");
+    if (fabric_report)
+        config.flows = &flows;
 
     sim::SimulationDriver driver(config);
     sim::RunResult baseline =
@@ -274,7 +430,8 @@ cmdReplay(int argc, char **argv)
         if (!out)
             fp_fatal("cannot open ", stats_path, " for writing");
         metrics.writeDocument(out, &sampler,
-                              want_profile ? &profiler : nullptr);
+                              want_profile ? &profiler : nullptr,
+                              fabric_report ? &flows : nullptr);
         std::cout << "stats json: " << stats_path << "\n";
     }
     if (config.tracer) {
@@ -285,6 +442,9 @@ cmdReplay(int argc, char **argv)
         // second clock domain (docs/profiling.md).
         if (want_profile)
             profiler.emitTrace(tracer);
+        // Per-link utilization / queue-depth counter tracks.
+        if (fabric_report)
+            flows.emitTrace(tracer);
         tracer.write(out);
         std::cout << "trace:      " << trace_path << " ("
                   << tracer.eventCount() << " events, detail "
@@ -343,6 +503,14 @@ cmdReplay(int argc, char **argv)
                   << common::Table::num(profiler.eventsPerSec() / 1e6, 2)
                   << " M events/s); details via `fptrace profile` or "
                      "--stats-json\n";
+    if (fabric_report) {
+        printFabricReport(flows);
+        if (*fabric_json != '\0') {
+            writeFabricJson(fabric_json, argv[2], trace, paradigm,
+                            config.pcie_gen, flows);
+            std::cout << "fabric json: " << fabric_json << "\n";
+        }
+    }
     return 0;
 }
 
