@@ -60,7 +60,7 @@ class ProtocolOracle : public finepack::RwqObserver
      * oldest outstanding flush for its destination (flushes packetize
      * in FIFO order). Panics on any byte-level or structural mismatch.
      */
-    void verifyMessage(const icn::WireMessage &msg);
+    FP_COLD void verifyMessage(const icn::WireMessage &msg);
 
     /**
      * End-of-run check: every buffered byte must have flushed and every

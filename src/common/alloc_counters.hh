@@ -21,6 +21,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/types.hh"
+
 namespace fp::common {
 
 struct AllocCounters
@@ -34,14 +36,14 @@ struct AllocCounters
     /** icn::WireMessage heap allocations (icn::makeWireMessage()). */
     inline static std::atomic<std::uint64_t> wire_messages{0};
 
-    static void
+    FP_HOT static void
     countLambdaEvent()
     {
         if (active.load(std::memory_order_relaxed) > 0)
             lambda_events.fetch_add(1, std::memory_order_relaxed);
     }
 
-    static void
+    FP_HOT static void
     countWireMessage()
     {
         if (active.load(std::memory_order_relaxed) > 0)

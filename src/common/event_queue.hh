@@ -58,7 +58,7 @@ class Event
     Event &operator=(const Event &) = delete;
 
     /** Invoked when simulated time reaches the scheduled tick. */
-    virtual void process() = 0;
+    FP_HOT virtual void process() = 0;
 
     /**
      * Human-readable label for debugging and host-side profiling.
@@ -68,9 +68,9 @@ class Event
      */
     virtual const char *description() const { return "generic event"; }
 
-    bool scheduled() const { return _scheduled; }
-    Tick when() const { return _when; }
-    int priority() const { return _priority; }
+    FP_HOT bool scheduled() const { return _scheduled; }
+    FP_HOT Tick when() const { return _when; }
+    FP_HOT int priority() const { return _priority; }
 
     /**
      * Insertion-order id of the most recent scheduling. Two live events
@@ -78,10 +78,10 @@ class Event
      * the queue's tie-break shuffle is enabled); observers use it to
      * report which of two racing events would run first.
      */
-    std::uint64_t sequence() const { return _sequence; }
+    FP_HOT std::uint64_t sequence() const { return _sequence; }
 
     /** Deschedule without executing; safe to call when not scheduled. */
-    void cancel() { _scheduled = false; }
+    FP_HOT void cancel() { _scheduled = false; }
 
   private:
     friend class EventQueue;
@@ -101,7 +101,11 @@ class LambdaEvent : public Event
         : Event(priority), _fn(std::move(fn)), _label(label)
     {}
 
-    void process() override { _fn(); }
+    FP_HOT void process() override
+    {
+        // fp-lint: allow(hot-escape) indirect callable; devirtualized dispatch is ROADMAP item 1
+        _fn();
+    }
     const char *description() const override { return _label; }
 
   private:
@@ -133,10 +137,10 @@ class EventQueueObserver
     virtual ~EventQueueObserver() = default;
 
     /** @p event is about to process() at the queue's current tick. */
-    virtual void beginEvent(const Event &event) = 0;
+    FP_COLD virtual void beginEvent(const Event &event) = 0;
 
     /** The event's process() returned. */
-    virtual void endEvent(const Event &event) = 0;
+    FP_COLD virtual void endEvent(const Event &event) = 0;
 
     /**
      * Code running under the current event declared a logical access.
@@ -146,7 +150,7 @@ class EventQueueObserver
      * distinguishes mutation from inspection. Only delivered to
      * observers whose wantsAccesses() returns true.
      */
-    virtual void
+    FP_COLD virtual void
     recordAccess(const void *resource, const char *label, bool is_write)
     {
         (void)resource;
@@ -160,7 +164,7 @@ class EventQueueObserver
      * execution-only observers (the profiler) never activate the
      * AccessRecorder paths.
      */
-    virtual bool wantsAccesses() const { return false; }
+    FP_COLD virtual bool wantsAccesses() const { return false; }
 };
 
 /**
@@ -175,7 +179,7 @@ class EventQueue
     EventQueue() = default;
 
     /** Current simulated time. */
-    Tick now() const { return _now; }
+    FP_HOT Tick now() const { return _now; }
 
     /**
      * Attach an execution observer (the caller keeps ownership; at most
@@ -227,22 +231,23 @@ class EventQueue
     bool tieBreakShuffleEnabled() const { return _shuffle; }
 
     /** Schedule @p event at absolute time @p when (>= now). */
-    void schedule(Event *event, Tick when);
+    FP_HOT void schedule(Event *event, Tick when);
 
     /** (Re-)schedule an event, descheduling it first if already queued. */
-    void reschedule(Event *event, Tick when);
+    FP_HOT void reschedule(Event *event, Tick when);
 
     /**
      * Schedule a one-shot callable at absolute time @p when. @p label
      * must be a string literal; the self-profiler attributes the
      * handler's host time to it (see docs/profiling.md).
      */
-    void
+    FP_HOT void
     schedule(std::function<void()> fn, Tick when,
              int priority = Event::prio_default,
              const char *label = "lambda event")
     {
         AllocCounters::countLambdaEvent();
+        // fp-lint: allow(hot-alloc) queue-owned one-shot event; the pooled arena is ROADMAP item 1
         auto owned = std::make_unique<LambdaEvent>(std::move(fn), priority,
                                                    label);
         LambdaEvent *raw = owned.get();
@@ -251,7 +256,7 @@ class EventQueue
     }
 
     /** Schedule a one-shot callable @p delay ticks from now. */
-    void
+    FP_HOT void
     scheduleIn(std::function<void()> fn, Tick delay,
                int priority = Event::prio_default,
                const char *label = "lambda event")
@@ -260,19 +265,19 @@ class EventQueue
     }
 
     /** True when no live (non-cancelled) events remain. */
-    bool empty() { pruneStale(); return _queue.empty(); }
+    FP_HOT bool empty() { pruneStale(); return _queue.empty(); }
 
     /** Tick of the next live event; max_tick when empty. */
-    Tick nextEventTick();
+    FP_HOT Tick nextEventTick();
 
     /**
      * Run events until the queue drains or the next event would be past
      * @p limit. @return the tick of the last executed event.
      */
-    Tick run(Tick limit = max_tick);
+    FP_HOT Tick run(Tick limit = max_tick);
 
     /** Execute at most one event. @return false if the queue was empty. */
-    bool step();
+    FP_HOT bool step();
 
     /** Total number of events processed since construction. */
     std::uint64_t eventsProcessed() const { return _processed; }
@@ -322,22 +327,22 @@ class EventQueue
     };
 
     /** Pop heap entries whose event was cancelled or rescheduled. */
-    void pruneStale();
+    FP_HOT void pruneStale();
     /**
      * Reclaim executed queue-owned lambdas. Amortized via
      * _gc_threshold on the hot path; @p force (used when run()
      * completes) sweeps unconditionally so idle queues hold nothing.
      */
-    void collectGarbage(bool force = false);
+    FP_COLD void collectGarbage(bool force = false);
 
     /** Out-of-line observer dispatch (cold unless observers attached). */
-    void notifyBegin(const Event &event);
-    void notifyEnd(const Event &event);
+    FP_COLD void notifyBegin(const Event &event);
+    FP_COLD void notifyEnd(const Event &event);
 
     /** Recompute the cached access-wanting observer after add/remove. */
     void refreshAccessObserver();
 
-    bool
+    FP_HOT bool
     isStale(const Entry &entry) const
     {
         return !entry.event->_scheduled ||
@@ -377,21 +382,21 @@ class AccessRecorder
     /** Inert recorder (no observer); every call is a null-pointer test. */
     AccessRecorder() = default;
 
-    explicit AccessRecorder(const EventQueue &queue)
+    FP_HOT explicit AccessRecorder(const EventQueue &queue)
         : _observer(queue.observer())
     {}
 
     /** True when a detector is listening (lets callers skip work). */
-    bool active() const { return _observer != nullptr; }
+    FP_HOT bool active() const { return _observer != nullptr; }
 
-    void
+    FP_HOT void
     read(const void *resource, const char *label)
     {
         if (_observer)
             _observer->recordAccess(resource, label, false);
     }
 
-    void
+    FP_HOT void
     write(const void *resource, const char *label)
     {
         if (_observer)

@@ -31,15 +31,15 @@ class SimObject
     SimObject(const SimObject &) = delete;
     SimObject &operator=(const SimObject &) = delete;
 
-    const std::string &name() const { return _name; }
-    EventQueue &eventQueue() { return _queue; }
-    Tick curTick() const { return _queue.now(); }
+    FP_HOT const std::string &name() const { return _name; }
+    FP_HOT EventQueue &eventQueue() { return _queue; }
+    FP_HOT Tick curTick() const { return _queue.now(); }
 
     StatGroup &stats() { return _stats; }
     const StatGroup &stats() const { return _stats; }
 
   protected:
-    void
+    FP_HOT void
     scheduleIn(std::function<void()> fn, Tick delay,
                int priority = Event::prio_default,
                const char *label = "lambda event")

@@ -13,6 +13,7 @@ Packetizer::packetize(const FlushedPartition &flushed) const
 
     FinePackTransaction txn(_src, flushed.dst, flushed.window_base,
                             _config);
+    txn.reserve(flushed.entries.size());
     for (const QueueEntry &entry : flushed.entries) {
         for (const auto &[start, len] : entry.runs()) {
             std::vector<std::uint8_t> data;
@@ -67,9 +68,7 @@ Packetizer::toMessage(const FlushedPartition &flushed,
         _wc_alone_bytes += protocol.storeWireBytes(
             txn.baseAddr() + sub.offset, sub.length);
     for (const QueueEntry &entry : flushed.entries) {
-        auto runs = entry.runs();
-        std::uint32_t first = runs.front().first;
-        std::uint32_t last = runs.back().first + runs.back().second;
+        auto [first, last] = entry.writtenSpan();
         _wc_line_bytes += protocol.storeWireBytes(
             entry.line_addr + first, last - first);
     }

@@ -35,8 +35,8 @@ class PacketizerObserver
     virtual ~PacketizerObserver() = default;
 
     /** @p txn was packetized and wrapped into wire message @p msg. */
-    virtual void packetEmitted(const FinePackTransaction &txn,
-                               const icn::WireMessage &msg) = 0;
+    FP_COLD virtual void packetEmitted(const FinePackTransaction &txn,
+                                       const icn::WireMessage &msg) = 0;
 };
 
 /** Converts flushed partitions into FinePack transactions / messages. */
@@ -51,14 +51,16 @@ class Packetizer
      * Packetize one flushed partition. The remote write queue's payload
      * accounting guarantees the result fits a single outer transaction.
      */
-    FinePackTransaction packetize(const FlushedPartition &flushed) const;
+    FP_HOT FinePackTransaction
+    packetize(const FlushedPartition &flushed) const;
 
     /**
      * Packetize and wrap into a wire message using @p protocol for the
      * outer TLP overhead accounting.
      */
-    icn::WireMessagePtr toMessage(const FlushedPartition &flushed,
-                                  const icn::PcieProtocol &protocol) const;
+    FP_HOT icn::WireMessagePtr
+    toMessage(const FlushedPartition &flushed,
+              const icn::PcieProtocol &protocol) const;
 
     GpuId src() const { return _src; }
     const FinePackConfig &config() const { return _config; }
@@ -128,7 +130,8 @@ class DePacketizer
     explicit DePacketizer(const FinePackConfig &config) : _config(config) {}
 
     /** Disaggregate a transaction into individual stores. */
-    std::vector<icn::Store> unpack(const FinePackTransaction &txn) const;
+    FP_HOT std::vector<icn::Store>
+    unpack(const FinePackTransaction &txn) const;
 
     /** Buffer capacity in bytes (64 entries x 128 B). */
     std::uint64_t

@@ -44,12 +44,36 @@ QueueEntry::runs() const
 std::uint64_t
 QueueEntry::packedCost(const FinePackConfig &config) const
 {
+    // Direct bitset walk rather than runs(): this accounting runs per
+    // buffered store (twice on a queue hit), so it must not build a
+    // run vector the way the flush-time paths do.
     std::uint64_t cost = 0;
-    for (const auto &[start, len] : runs()) {
-        (void)start;
-        cost += config.subheader_bytes + len;
+    std::uint32_t i = 0;
+    const auto line = static_cast<std::uint32_t>(mask.size());
+    while (i < line) {
+        if (!mask.test(i)) {
+            ++i;
+            continue;
+        }
+        std::uint32_t start = i;
+        while (i < line && mask.test(i))
+            ++i;
+        cost += config.subheader_bytes + (i - start);
     }
     return cost;
+}
+
+std::pair<std::uint32_t, std::uint32_t>
+QueueEntry::writtenSpan() const
+{
+    const auto line = static_cast<std::uint32_t>(mask.size());
+    std::uint32_t first = 0;
+    while (first < line && !mask.test(first))
+        ++first;
+    std::uint32_t last = line;
+    while (last > first && !mask.test(last - 1))
+        --last;
+    return {first, last};
 }
 
 // ---------------------------------------------------------------------

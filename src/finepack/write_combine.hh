@@ -53,13 +53,13 @@ class WriteCombineBuffer
      * Buffer one store; returns the evicted line when the insertion
      * displaced the LRU line.
      */
-    std::optional<WcLine> push(const icn::Store &store);
+    FP_HOT std::optional<WcLine> push(const icn::Store &store);
 
     /** Flush all buffered lines (synchronization), in address order. */
-    std::vector<WcLine> flushAll();
+    FP_HOT std::vector<WcLine> flushAll();
 
     /** Wrap a flushed line into a full-line write message. */
-    icn::WireMessagePtr lineToMessage(const WcLine &line,
+    FP_HOT icn::WireMessagePtr lineToMessage(const WcLine &line,
                                       const icn::PcieProtocol &protocol)
         const;
 

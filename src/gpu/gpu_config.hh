@@ -62,7 +62,7 @@ struct GpuConfig
     }
 
     /** HBM bandwidth in bytes per tick. */
-    double
+    FP_HOT double
     hbmBytesPerTick() const
     {
         return static_cast<double>(hbm_bytes_per_sec) /

@@ -35,7 +35,7 @@ enum class MessageKind : std::uint8_t {
     atomic_op,
 };
 
-const char *toString(MessageKind kind);
+FP_COLD const char *toString(MessageKind kind);
 
 /** Number of MessageKind values (for per-kind accounting arrays). */
 inline constexpr std::size_t message_kind_count = 5;
@@ -79,7 +79,8 @@ struct WireMessage
      */
     std::vector<obs::StoreStamp> store_stamps;
 
-    std::uint64_t wireBytes() const { return payload_bytes + header_bytes; }
+    FP_HOT std::uint64_t wireBytes() const
+    { return payload_bytes + header_bytes; }
 };
 
 using WireMessagePtr = std::shared_ptr<WireMessage>;
@@ -90,10 +91,11 @@ using WireMessagePtr = std::shared_ptr<WireMessage>;
  * message-churn on the hot path (one branch when profiling is off),
  * and gives ROADMAP item 1's pool allocator a single seam to replace.
  */
-inline WireMessagePtr
+FP_HOT inline WireMessagePtr
 makeWireMessage()
 {
     common::AllocCounters::countWireMessage();
+    // fp-lint: allow(hot-alloc) the single wire-message allocation seam; pooling is ROADMAP item 1
     return std::make_shared<WireMessage>();
 }
 

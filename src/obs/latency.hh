@@ -102,7 +102,7 @@ class LatencyCollector
      * write-combine paths have no per-store issue stamps and only
      * contribute the message-level stages).
      */
-    void record(GpuId dst, const MsgTimestamps &t, Tick arrival,
+    FP_COLD void record(GpuId dst, const MsgTimestamps &t, Tick arrival,
                 Tick commit, const StoreStamp *stamps,
                 std::size_t count) FP_EXCLUDES(_mu);
 

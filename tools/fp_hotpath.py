@@ -1,0 +1,842 @@
+#!/usr/bin/env python3
+"""Hot-path hygiene analyzer for the FinePack simulator sources.
+
+FinePack's thesis is that per-message software overhead dominates
+fine-grained transfers; the simulator's own profiler (obs::Profiler +
+common::AllocCounters, PR 7) shows the DES core has the same disease:
+per-event and per-wire-message heap allocation. ROADMAP item 1 (arena
+allocation, devirtualized dispatch) needs two things from static
+analysis before the overhaul: an inventory of every allocation site on
+the hot path, and a gate that keeps new ones from creeping in after
+the cleanup. No libclang exists in the toolchain, so this is a
+token-aware analyzer built on the repo's own lexer (tools/fp_cpplex.py,
+shared with fp_lint.py) with a lightweight function-scope parser: it
+recognizes function definitions and declarations, the FP_HOT / FP_COLD
+annotations on them (src/common/types.hh), and the calls each body
+makes.
+
+Annotation model: FP_HOT marks a function on the per-event /
+per-message path (expands to [[gnu::hot]]); FP_COLD marks a function
+deliberately off it - slow paths, setup/teardown, observer hooks -
+that hot code may still call (expands to nothing; it exists for the
+analyzer). Header declarations and out-of-line definitions are merged
+by (class, name), so annotating the declaration covers the .cc body.
+
+Rules (waivable with `// fp-lint: allow(<rule>) <reason>` on the line
+or the line above, same idiom as fp_lint.py; a waiver without a reason
+is itself an error):
+
+  hot-alloc        No `new`, std::make_shared / make_unique,
+                   std::function construction, or string building
+                   (std::string locals/temporaries, std::to_string,
+                   stringstreams) inside an FP_HOT function. Waived
+                   sites still land in the --json inventory - the
+                   work-list for the arena-allocation PR.
+  hot-escape       An FP_HOT function may only call functions that are
+                   themselves FP_HOT, explicitly FP_COLD, or on a
+                   small allowlist of known-trivial std calls - a
+                   one-level call-graph closure over src/. Lambdas
+                   defined inside a hot body are analyzed as part of
+                   that body (they run on the event path they were
+                   scheduled from).
+  schedule-label   Every EventQueue::schedule()/scheduleIn() call site
+                   with a callable passes an explicit label argument
+                   (the self-profiler attributes host time by label;
+                   the Event* overload carries description() instead).
+  observer-purity  Classes deriving from an observer interface (any
+                   base whose name ends in `Observer`) never call
+                   schedule()/scheduleIn() from their hook overrides:
+                   observers stay passive so attaching one cannot
+                   change simulation results.
+
+Known lexical limits (this is a token analyzer, not a compiler):
+explicit-template calls `f<T>(x)` are not recognized as calls,
+overloads share one annotation entry (any annotated overload
+satisfies hot-escape), and calls through function pointers /
+std::function values are invisible - invoke them via a named wrapper
+or waive the site.
+
+Usage: tools/fp_hotpath.py [--root DIR] [--json PATH] [PATH...]
+Exits 1 when any unwaived finding remains.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import fp_cpplex  # noqa: E402
+
+RULES = ("hot-alloc", "hot-escape", "schedule-label", "observer-purity")
+
+WAIVER = re.compile(r"//\s*fp-lint:\s*allow\(([a-z-]+)\)\s*(.*)")
+
+# Keywords and keyword-like tokens that look like `name (` but are not
+# calls.
+NOT_CALLS = frozenset((
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "alignas", "decltype", "noexcept", "typeid", "throw", "catch",
+    "new", "delete", "case", "default", "static_assert", "assert",
+    "defined", "this", "operator", "co_await", "co_return", "co_yield",
+    "and", "or", "not", "requires", "explicit", "constexpr", "const",
+    # primitive type names: `std::function<void()>`, `int(x)` casts
+    "void", "bool", "char", "int", "short", "long", "float", "double",
+    "auto", "unsigned", "signed",
+))
+
+# Known-trivial calls an FP_HOT function may make without annotation:
+# std containers/algorithms/smart-pointer accessors that do not
+# allocate on the paths we use them, plus the repo's assertion macros
+# (cold by definition: they fire on the way to abort). Names are
+# matched unqualified, so a src-defined method sharing a name with an
+# allowlisted std call is not checked through this rule - keep hot
+# methods off these names or rely on their own annotations being
+# checked at their own call sites.
+TRIVIAL_CALLS = frozenset((
+    # std::algorithm / numeric one-liners
+    "min", "max", "clamp", "swap", "move", "forward", "get", "abs",
+    "ceil", "floor", "exchange", "distance", "lower_bound",
+    "upper_bound", "sort", "fill", "copy", "accumulate",
+    # container / string / view accessors and non-allocating mutators
+    "size", "empty", "begin", "end", "rbegin", "rend", "front", "back",
+    "data", "c_str", "top", "pop", "pop_back", "pop_front", "clear",
+    "reserve", "capacity", "resize", "find", "count", "contains",
+    "at", "erase", "insert", "emplace", "emplace_back", "push_back",
+    "push", "push_front", "assign", "length", "substr_nocopy", "first",
+    "second", "reset", "release", "value", "value_or", "has_value",
+    "tie",
+    # std::bitset bit ops
+    "test", "set", "flip", "none", "any", "all",
+    # atomics / numeric-limits style constants
+    "load", "store", "fetch_add", "fetch_sub", "compare_exchange_weak",
+    "compare_exchange_strong",
+    # <bit> intrinsics (single instructions on the targets we build for)
+    "countl_zero", "countr_zero", "popcount", "bit_width",
+    "has_single_bit",
+    # assertion / invariant macros are lowercase in this repo
+    "fp_assert", "fp_panic", "fp_fatal",
+))
+
+# Allocation-site kinds reported in the inventory.
+ALLOC_NEW = "new"
+ALLOC_MAKE_SHARED = "make_shared"
+ALLOC_MAKE_UNIQUE = "make_unique"
+ALLOC_STD_FUNCTION = "std::function"
+ALLOC_STRING = "string"
+
+STRING_BUILDERS = frozenset(("to_string", "stoi", "stoul", "stoull"))
+STRING_TYPES = frozenset(("string", "ostringstream", "stringstream",
+                          "istringstream"))
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class Func:
+    """One function definition or declaration."""
+
+    def __init__(self, path, line, scope, name, annotation,
+                 is_definition):
+        self.path = path
+        self.line = line
+        self.scope = scope          # innermost class (or "" for free)
+        self.name = name
+        self.annotation = annotation  # "hot" | "cold" | None
+        self.is_definition = is_definition
+        self.body = []              # tokens, definitions only
+        self.calls = []             # Call
+        self.alloc_sites = []       # (line, kind)
+
+    @property
+    def qualified(self):
+        return f"{self.scope}::{self.name}" if self.scope else self.name
+
+
+class Call:
+    def __init__(self, name, qualifier, line, args, method):
+        self.name = name
+        self.qualifier = qualifier  # "" unless written Qual::name(
+        self.line = line
+        self.args = args            # list of top-level argument token lists
+        self.method = method        # written obj.name( / obj->name(
+
+
+def _head_annotation(head):
+    ann = None
+    for tok in head:
+        if tok.text == "FP_HOT":
+            ann = "hot"
+        elif tok.text == "FP_COLD":
+            ann = "cold"
+    return ann
+
+
+def _skip_template_intro(head):
+    """Index after a leading `template < ... >` group, else 0."""
+    if not head or head[0].text != "template":
+        return 0
+    depth = 0
+    for i, tok in enumerate(head[1:], start=1):
+        if tok.text == "<":
+            depth += 1
+        elif tok.text == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif tok.text == ">>":
+            depth -= 2
+            if depth <= 0:
+                return i + 1
+    return len(head)
+
+
+def parse_function_head(head):
+    """Recognize a function signature in the tokens before a { or ;.
+
+    Returns (qualifier, name, name_index, params_start) or None.
+    The name is the identifier immediately before the first top-level
+    parenthesis group; a preceding `A::B::` chain becomes the
+    qualifier (last component). `operator<op>` is recognized so
+    operator overloads don't confuse the brace classifier.
+    """
+    start = _skip_template_intro(head)
+    head = head[start:]
+    if not head:
+        return None
+    depth_angle = 0
+    for i, tok in enumerate(head):
+        t = tok.text
+        if t == "<":
+            depth_angle += 1
+        elif t == ">" and depth_angle:
+            depth_angle -= 1
+        elif t == ">>" and depth_angle:
+            depth_angle = max(0, depth_angle - 2)
+        elif t == "=" and depth_angle == 0:
+            return None  # initializer, not a signature
+        elif t in ("using", "typedef", "friend"):
+            return None
+        elif t == "(" and depth_angle == 0:
+            if i == 0:
+                return None
+            j = i - 1
+            prev = head[j]
+            if prev.kind == "ident" and prev.text not in NOT_CALLS:
+                name_idx = j
+                name = prev.text
+            elif prev.kind == "punct" or prev.text == "operator":
+                # operator overload: operator> / operator() / operator+=
+                k = j
+                while k >= 0 and head[k].text != "operator":
+                    k -= 1
+                if k < 0:
+                    return None
+                name_idx = k
+                name = "operator" + "".join(
+                    tok2.text for tok2 in head[k + 1:i])
+            else:
+                return None
+            # Qualifier chain: ... A :: B :: name
+            qualifier = ""
+            q = name_idx - 1
+            parts = []
+            while q >= 1 and head[q].text == "::" \
+                    and head[q - 1].kind == "ident":
+                parts.append(head[q - 1].text)
+                q -= 2
+            if parts:
+                qualifier = parts[0]  # innermost enclosing class
+            return qualifier, name, name_idx + start, i + start
+    return None
+
+
+def _looks_like_class_head(head):
+    idx = _skip_template_intro(head)
+    for tok in head[idx:]:
+        if tok.text in ("class", "struct", "union", "enum"):
+            return True
+        if tok.text == "(":
+            return False
+    return False
+
+
+def _class_name_and_bases(head):
+    """(name, [base names]) for a class/struct head."""
+    idx = _skip_template_intro(head)
+    toks = head[idx:]
+    name = ""
+    bases = []
+    i = 0
+    while i < len(toks) and toks[i].text not in ("class", "struct",
+                                                 "union", "enum"):
+        i += 1
+    i += 1
+    while i < len(toks) and toks[i].text in ("enum", "class", "struct"):
+        i += 1  # enum class
+    # skip attributes / export macros before the name
+    while i < len(toks) and toks[i].kind != "ident":
+        i += 1
+    if i < len(toks):
+        name = toks[i].text
+        i += 1
+    # base-clause: ": public a::b::Base, private Other"
+    if i < len(toks) and toks[i].text == ":":
+        current = []
+        depth = 0
+        for tok in toks[i + 1:]:
+            t = tok.text
+            if t in ("<",):
+                depth += 1
+            elif t in (">", ">>"):
+                depth = max(0, depth - (2 if t == ">>" else 1))
+            elif t == "," and depth == 0:
+                if current:
+                    bases.append(current[-1])
+                current = []
+                continue
+            if depth == 0 and tok.kind == "ident" and t not in (
+                    "public", "private", "protected", "virtual", "final"):
+                current.append(t)
+        if current:
+            bases.append(current[-1])
+    return name, bases
+
+
+class FileModel:
+    """Parsed view of one source file."""
+
+    def __init__(self, path, rel):
+        self.path = path
+        self.rel = rel
+        with open(path, encoding="utf-8", errors="replace") as f:
+            self.text = f.read()
+        self.raw_lines = self.text.split("\n")
+        self.tokens = fp_cpplex.lex(self.text)
+        self.functions = []        # Func, definitions and declarations
+        self.classes = {}          # name -> [base names]
+        self._parse()
+
+    def waiver_for(self, line):
+        for probe in (line - 1, line - 2):
+            if probe < 0 or probe >= len(self.raw_lines):
+                continue
+            m = WAIVER.search(self.raw_lines[probe])
+            if m:
+                return m.group(1), m.group(2).strip()
+        return None
+
+    def _parse(self):
+        toks = self.tokens
+        n = len(toks)
+        scope = []   # ("namespace"|"class"|"block", name)
+        head = []
+        i = 0
+        while i < n:
+            tok = toks[i]
+            t = tok.text
+            if t == "{":
+                kind = self._classify_brace(head, scope)
+                if kind[0] == "function":
+                    func = kind[1]
+                    body, i = self._collect_body(i + 1)
+                    func.body = body
+                    self._analyze_body(func)
+                    self.functions.append(func)
+                    head = []
+                    continue
+                scope.append(kind)
+                head = []
+            elif t == "}":
+                if scope:
+                    scope.pop()
+                head = []
+            elif t == ";":
+                self._maybe_declaration(head, scope)
+                head = []
+            elif t == ":" and self._is_access_label(head):
+                head = []
+            else:
+                head.append(tok)
+            i += 1
+
+    @staticmethod
+    def _is_access_label(head):
+        return len(head) == 1 and head[0].text in ("public", "private",
+                                                   "protected")
+
+    def _current_class(self, scope):
+        for kind, name in reversed(scope):
+            if kind == "class":
+                return name
+        return ""
+
+    def _classify_brace(self, head, scope):
+        texts = [tok.text for tok in head]
+        if "namespace" in texts:
+            return ("namespace", "")
+        if _looks_like_class_head(head):
+            name, bases = _class_name_and_bases(head)
+            if name:
+                self.classes.setdefault(name, []).extend(bases)
+            return ("class", name)
+        sig = parse_function_head(head)
+        if sig is not None:
+            qualifier, name, name_idx, _ = sig
+            scope_name = qualifier or self._current_class(scope)
+            func = Func(self.rel, head[name_idx].line, scope_name, name,
+                        _head_annotation(head), is_definition=True)
+            return ("function", func)
+        return ("block", "")
+
+    def _maybe_declaration(self, head, scope):
+        """Record a function declaration (`FP_HOT void f(...);`)."""
+        sig = parse_function_head(head)
+        if sig is None:
+            return
+        qualifier, name, name_idx, params_start = sig
+        # Reject declarations whose parens are actually an initializer
+        # (`int x(5);`): a real parameter list is empty or contains a
+        # type-ish first token; cheap filter: name must be preceded by
+        # a type token or be a ctor (name == enclosing class).
+        scope_name = qualifier or self._current_class(scope)
+        func = Func(self.rel, head[name_idx].line, scope_name, name,
+                    _head_annotation(head), is_definition=False)
+        self.functions.append(func)
+
+    def _collect_body(self, start):
+        """Tokens from `start` to the matching close brace."""
+        depth = 1
+        body = []
+        i = start
+        n = len(self.tokens)
+        while i < n:
+            tok = self.tokens[i]
+            if tok.text == "{":
+                depth += 1
+            elif tok.text == "}":
+                depth -= 1
+                if depth == 0:
+                    return body, i + 1
+            body.append(tok)
+            i += 1
+        return body, n
+
+    def _analyze_body(self, func):
+        """One pass over the body: calls and allocation sites.
+
+        Argument spans of assertion/invariant macros are skipped
+        entirely - their arguments build diagnostic strings on the way
+        to abort, which is cold by definition and must not generate
+        hot-path findings.
+        """
+        toks = func.body
+        n = len(toks)
+        i = 0
+        while i < n:
+            tok = toks[i]
+            t = tok.text
+            if tok.kind != "ident":
+                i += 1
+                continue
+            prev = toks[i - 1] if i > 0 else None
+            nxt = toks[i + 1].text if i + 1 < n else ""
+
+            # ---- allocation sites (hot-alloc inventory) ----
+            if t == "new" and (prev is None or prev.text != "delete"):
+                func.alloc_sites.append((tok.line, ALLOC_NEW))
+            elif t == "make_shared" and nxt in ("(", "<"):
+                func.alloc_sites.append((tok.line, ALLOC_MAKE_SHARED))
+            elif t == "make_unique" and nxt in ("(", "<"):
+                func.alloc_sites.append((tok.line, ALLOC_MAKE_UNIQUE))
+            elif t == "function" and prev is not None \
+                    and prev.text == "::" and i >= 2 \
+                    and toks[i - 2].text == "std":
+                func.alloc_sites.append((tok.line, ALLOC_STD_FUNCTION))
+            elif t in STRING_BUILDERS and nxt == "(":
+                func.alloc_sites.append((tok.line, ALLOC_STRING))
+            elif t in STRING_TYPES and prev is not None \
+                    and prev.text == "::" and i >= 2 \
+                    and toks[i - 2].text == "std":
+                # `std::string s(...)` and temporaries allocate;
+                # `const std::string &` references do not.
+                j = i + 1
+                while j < n and toks[j].text == "const":
+                    j += 1
+                if not (j < n and toks[j].text in ("&", "*")):
+                    func.alloc_sites.append((tok.line, ALLOC_STRING))
+
+            # ---- calls ----
+            if t in NOT_CALLS or nxt != "(":
+                i += 1
+                continue
+            if is_macro_name(t) or t in ("fp_assert", "fp_panic",
+                                         "fp_fatal", "fp_warn",
+                                         "fp_inform"):
+                # Skip the macro's argument span wholesale.
+                i = self._skip_group(toks, i + 1)
+                continue
+            # `Type name(args)` is a declaration, not a call; `obj.f(`
+            # and `Qual::f(` are calls.
+            method = prev is not None and prev.text in (".", "->")
+            qualifier = ""
+            if prev is not None and prev.text == "::" and i >= 2 \
+                    and toks[i - 2].kind == "ident":
+                qualifier = toks[i - 2].text
+            if not method and not qualifier and prev is not None \
+                    and (prev.kind == "ident" or prev.text in (">", "&",
+                                                               "*")):
+                i += 1
+                continue  # declaration with ctor args
+            args = self._split_args(toks, i + 1)
+            func.calls.append(Call(t, qualifier, tok.line, args, method))
+            i += 1
+
+    @staticmethod
+    def _skip_group(toks, open_idx):
+        """Index just past the group closing the paren at open_idx."""
+        depth = 0
+        i = open_idx
+        n = len(toks)
+        while i < n:
+            t = toks[i].text
+            if t in ("(", "[", "{"):
+                depth += 1
+            elif t in (")", "]", "}"):
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+            i += 1
+        return n
+
+    @staticmethod
+    def _split_args(toks, open_idx):
+        """Top-level argument token lists of the group at open_idx.
+
+        Angle brackets only count as template delimiters directly
+        after an identifier (`foo<A, B>(x)`), so comparison operators
+        inside lambda arguments (`i < end`) cannot swallow the
+        argument separators that follow.
+        """
+        args = []
+        current = []
+        depth = 0
+        angle = 0
+        i = open_idx
+        n = len(toks)
+        while i < n:
+            t = toks[i].text
+            if t in ("(", "[", "{"):
+                depth += 1
+                angle = 0
+                if depth > 1:
+                    current.append(toks[i])
+            elif t in (")", "]", "}"):
+                depth -= 1
+                angle = 0
+                if depth == 0:
+                    break
+                current.append(toks[i])
+            elif t == "," and depth == 1 and angle == 0:
+                args.append(current)
+                current = []
+            else:
+                if t == "<":
+                    prev = toks[i - 1] if i > 0 else None
+                    if angle or (prev is not None
+                                 and prev.kind == "ident"):
+                        angle += 1
+                elif t in (">", ">>") and angle:
+                    angle = max(0, angle - (2 if t == ">>" else 1))
+                elif t == ";":
+                    angle = 0
+                if depth >= 1:
+                    current.append(toks[i])
+            i += 1
+        if current:
+            args.append(current)
+        return args
+
+
+def is_macro_name(name):
+    return name.isupper() and len(name) > 1
+
+
+def build_annotation_index(models):
+    """(scope, name) -> annotation, plus name -> known-in-src flag."""
+    by_key = {}
+    names = {}
+    for model in models:
+        for func in model.functions:
+            key = (func.scope, func.name)
+            ann = by_key.get(key)
+            if func.annotation and ann and ann != func.annotation:
+                pass  # conflicting overload annotations: last wins below
+            if func.annotation or key not in by_key:
+                by_key[key] = func.annotation or by_key.get(key)
+            entry = names.setdefault(func.name, set())
+            if func.annotation:
+                entry.add(func.annotation)
+    return by_key, names
+
+
+def annotation_of(func, by_key):
+    return func.annotation or by_key.get((func.scope, func.name))
+
+
+def observer_hooks(models):
+    """Method names declared virtual in *Observer interface classes."""
+    hooks = set()
+    for model in models:
+        toks = model.tokens
+        # Reuse the parse: any function whose scope ends in Observer
+        # counts as a hook candidate when declared in the interface.
+        for func in model.functions:
+            if func.scope.endswith("Observer"):
+                hooks.add(func.name)
+        del toks
+    return hooks
+
+
+def observer_derived(models):
+    """Class names deriving (transitively, by name) from *Observer."""
+    bases = {}
+    for model in models:
+        for cls, bs in model.classes.items():
+            bases.setdefault(cls, []).extend(bs)
+    derived = set()
+
+    def is_observer(cls, seen):
+        if cls.endswith("Observer"):
+            return True
+        if cls in seen:
+            return False
+        seen.add(cls)
+        return any(is_observer(b, seen) for b in bases.get(cls, ()))
+
+    for cls in bases:
+        if not cls.endswith("Observer") and is_observer(cls, set()):
+            derived.add(cls)
+    return derived
+
+
+def check_hot_alloc(model, func, findings, inventory, by_key):
+    waivable = []
+    for line, kind in func.alloc_sites:
+        waiver = model.waiver_for(line)
+        waived = waiver is not None and waiver[0] == "hot-alloc" \
+            and bool(waiver[1])
+        inventory.append({
+            "file": model.rel, "line": line, "kind": kind,
+            "function": func.qualified, "waived": waived,
+            "reason": waiver[1] if waived else "",
+        })
+        waivable.append((line, kind))
+    for line, kind in waivable:
+        emit(model, findings, line, "hot-alloc",
+             f"{kind} in FP_HOT function '{func.qualified}' "
+             "(hot-path allocation; pool it, hoist it, or waive with "
+             "the plan)")
+
+
+def check_hot_escape(model, func, findings, by_key, names):
+    seen_lines = set()
+    for call in func.calls:
+        name = call.name
+        if is_macro_name(name) or name in TRIVIAL_CALLS:
+            continue
+        if name in ("make_shared", "make_unique"):
+            continue  # reported by hot-alloc, not twice
+        key = (call.qualifier or func.scope, name)
+        ann = by_key.get(key)
+        if ann is None:
+            # Unqualified call, method call, or a qualifier that is a
+            # namespace rather than a class: any annotated definition
+            # of this name anywhere satisfies the closure (overloads
+            # and virtual dispatch share one entry by design).
+            anns = names.get(name)
+            if anns:
+                ann = "hot" if "hot" in anns else \
+                    ("cold" if "cold" in anns else None)
+            elif (("", name) in by_key or (func.scope, name) in by_key):
+                ann = by_key.get(("", name)) or by_key.get(
+                    (func.scope, name))
+        if ann in ("hot", "cold"):
+            continue
+        known = name in names or key in by_key
+        if (call.line, name) in seen_lines:
+            continue
+        seen_lines.add((call.line, name))
+        if known:
+            what = f"unannotated function '{name}'"
+        elif call.method:
+            what = f"method '.{name}()' not on the trivial allowlist"
+        else:
+            what = f"unknown function '{name}' (not defined in src/, " \
+                   "not on the trivial allowlist)"
+        emit(model, findings, call.line, "hot-escape",
+             f"FP_HOT function '{func.qualified}' calls {what}; "
+             "annotate the callee FP_HOT/FP_COLD, allowlist it, or "
+             "waive")
+
+
+def check_schedule_label(model, func, findings):
+    for call in func.calls:
+        if call.name not in ("schedule", "scheduleIn"):
+            continue
+        args = call.args
+        first_is_callable = bool(args) and bool(args[0]) and (
+            args[0][0].text == "[" or
+            any(tok.text == "function" for tok in args[0][:4]) or
+            (args[0][0].text in ("std",) and len(args[0]) > 2
+             and args[0][2].text in ("move", "function")))
+        if call.name == "schedule" and len(args) == 2 \
+                and not first_is_callable:
+            continue  # Event* overload: label comes from description()
+        if len(args) >= 4:
+            continue  # explicit priority + label
+        emit(model, findings, call.line, "schedule-label",
+             f"{call.name}() call without an explicit label argument "
+             "(pass a string-literal label; the self-profiler "
+             "attributes host time by it)")
+
+
+def check_observer_purity(model, func, findings, derived, hooks):
+    if func.scope not in derived or func.name not in hooks:
+        return
+    for call in func.calls:
+        if call.name in ("schedule", "scheduleIn"):
+            emit(model, findings, call.line, "observer-purity",
+                 f"observer hook '{func.qualified}' schedules events "
+                 "(observers must stay passive so attaching one cannot "
+                 "change simulation results)")
+
+
+def emit(model, findings, line, rule, message):
+    waiver = model.waiver_for(line)
+    if waiver and waiver[0] == rule:
+        if not waiver[1]:
+            findings.append(Finding(
+                model.rel, line, rule,
+                "waiver without a reason (state why this hot-path "
+                "exception is safe)"))
+        return
+    findings.append(Finding(model.rel, line, rule, message))
+
+
+def analyze(files, root):
+    models = []
+    for path in files:
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        models.append(FileModel(path, rel))
+
+    by_key, names = build_annotation_index(models)
+    hooks = observer_hooks(models)
+    derived = observer_derived(models)
+
+    findings = []
+    inventory = []
+    hot_functions = []
+    cold_functions = []
+
+    # The inventory lists each annotated function once, at its
+    # definition; an annotated declaration whose definition is outside
+    # the analyzed set (interface methods, externally-defined helpers)
+    # is listed at the declaration instead of being dropped.
+    defined = {(f.scope, f.name)
+               for m in models for f in m.functions if f.is_definition}
+    listed_decls = set()
+
+    for model in models:
+        for func in model.functions:
+            ann = annotation_of(func, by_key)
+            key = (func.scope, func.name)
+            if func.is_definition or (key not in defined
+                                      and key not in listed_decls):
+                entry = {"file": model.rel, "line": func.line,
+                         "scope": func.scope, "name": func.name}
+                if ann == "hot":
+                    hot_functions.append(entry)
+                elif ann == "cold":
+                    cold_functions.append(entry)
+                if not func.is_definition and ann:
+                    listed_decls.add(key)
+            if ann == "hot" and func.is_definition:
+                check_hot_alloc(model, func, findings, inventory, by_key)
+                check_hot_escape(model, func, findings, by_key, names)
+            if func.is_definition:
+                check_schedule_label(model, func, findings)
+                check_observer_purity(model, func, findings, derived,
+                                      hooks)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    inventory.sort(key=lambda s: (s["file"], s["line"], s["kind"]))
+    hot_functions.sort(key=lambda e: (e["file"], e["line"]))
+    cold_functions.sort(key=lambda e: (e["file"], e["line"]))
+    return findings, {
+        "schema_version": 1,
+        "kind": "hotpath",
+        "hot_functions": hot_functions,
+        "cold_functions": cold_functions,
+        "allocation_sites": inventory,
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: src/)")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: script's parent)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the hot-path inventory (use '-' "
+                             "for stdout)")
+    args = parser.parse_args()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    targets = args.paths or [os.path.join(root, "src")]
+
+    files = []
+    for target in targets:
+        if os.path.isfile(target):
+            files.append(target)
+            continue
+        for dirpath, _, filenames in os.walk(target):
+            for name in sorted(filenames):
+                if name.endswith((".cc", ".hh", ".cpp", ".hpp", ".h")):
+                    files.append(os.path.join(dirpath, name))
+
+    findings, inventory = analyze(sorted(files), root)
+
+    if args.json is not None:
+        text = json.dumps(inventory, indent=2, sort_keys=False)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as f:
+                f.write(text + "\n")
+
+    # Keep stdout pure JSON under --json -, so it pipes into jq/python.
+    report = sys.stderr if args.json == "-" else sys.stdout
+    for finding in findings:
+        print(finding, file=report)
+    print(f"fp_hotpath: {len(files)} files, "
+          f"{len(inventory['hot_functions'])} hot / "
+          f"{len(inventory['cold_functions'])} cold functions, "
+          f"{len(inventory['allocation_sites'])} hot allocation "
+          f"site(s), {len(findings)} finding(s)", file=report)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

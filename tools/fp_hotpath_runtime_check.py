@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Static <-> runtime allocation-inventory cross-check.
+
+fp_hotpath.py's --json inventory claims to list *every* hot-path
+allocation site; common::AllocCounters counts the allocations that
+actually happen per run (exported by `fptrace profile --json` under
+host.alloc). This check replays a small trace and reconciles the two
+views:
+
+  * every runtime allocation counter that fired must be backed by a
+    site in the static inventory (a counter with no site means an
+    allocation path the analyzer cannot see -- a gap in the gate), and
+  * every counted static site must fire at runtime on a replay that
+    exercises the full pipeline (a site that never fires would mean
+    the inventory is stale or mislocated).
+
+The two AllocCounters streams map to sites like this:
+
+  lambda_events  <- the make_unique seam in EventQueue::schedule
+                    (src/common/event_queue.hh)
+  wire_messages  <- the make_shared seam in icn::makeWireMessage
+                    (src/interconnect/message.hh)
+
+If the arena PR (ROADMAP item 1) retires a seam, it must retire the
+counter and this mapping together.
+
+Usage: fp_hotpath_runtime_check.py <fptrace-binary> [--keep]
+Exits non-zero on any mismatch.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+TOOLS = os.path.dirname(os.path.abspath(__file__))
+
+# counter name in host.alloc -> (file, kind, function) of the static
+# site that increments it.
+COUNTER_SITES = {
+    "lambda_events": ("src/common/event_queue.hh", "make_unique",
+                      "EventQueue::schedule"),
+    "wire_messages": ("src/interconnect/message.hh", "make_shared",
+                      "makeWireMessage"),
+}
+
+
+def run(cmd, **kwargs):
+    proc = subprocess.run(cmd, capture_output=True, text=True, **kwargs)
+    if proc.returncode != 0:
+        sys.stderr.write(f"command failed: {' '.join(cmd)}\n")
+        sys.stderr.write(proc.stdout + proc.stderr)
+        sys.exit(2)
+    return proc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fptrace", help="path to the fptrace binary")
+    parser.add_argument("--workload", default="jacobi")
+    parser.add_argument("--scale", default="0.05")
+    args = parser.parse_args()
+
+    # Static side: the analyzer must be green and its inventory parse.
+    proc = run([sys.executable, os.path.join(TOOLS, "fp_hotpath.py"),
+                "--json", "-"])
+    inventory = json.loads(proc.stdout)
+    sites = inventory["allocation_sites"]
+
+    failures = []
+    if len(inventory["hot_functions"]) < 5:
+        failures.append(
+            f"inventory lists only {len(inventory['hot_functions'])} "
+            "hot functions; the per-event path should contribute >= 5")
+
+    # Runtime side: generate + profile a small replay.
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = os.path.join(tmp, "check.fpt")
+        profile = os.path.join(tmp, "profile.json")
+        run([args.fptrace, "generate", args.workload, trace,
+             "--scale", args.scale, "--gpus", "2", "--seed", "7"])
+        run([args.fptrace, "profile", trace, "--reps", "1",
+             "--json", profile])
+        with open(profile, encoding="utf-8") as f:
+            alloc = json.load(f)["host"]["alloc"]
+
+    for counter, count in sorted(alloc.items()):
+        mapping = COUNTER_SITES.get(counter)
+        if mapping is None:
+            failures.append(
+                f"runtime counter host.alloc.{counter} has no known "
+                "static site mapping; extend COUNTER_SITES and the "
+                "inventory together")
+            continue
+        file, kind, function = mapping
+        match = [s for s in sites
+                 if s["file"] == file and s["kind"] == kind
+                 and s["function"] == function]
+        if count > 0 and not match:
+            failures.append(
+                f"host.alloc.{counter} = {count} at runtime but the "
+                f"static inventory has no {kind} site in {function} "
+                f"({file}) -- the analyzer lost track of a hot "
+                "allocation")
+        if count == 0 and match:
+            failures.append(
+                f"static inventory lists {kind} in {function} ({file}) "
+                f"but host.alloc.{counter} stayed 0 on a full replay "
+                "-- stale or mislocated site")
+
+    # Every static site must be attributable to some runtime counter:
+    # an unattributed site cannot be reconciled at all.
+    mapped = {(f, k, fn) for f, k, fn in COUNTER_SITES.values()}
+    for site in sites:
+        key = (site["file"], site["kind"], site["function"])
+        if key not in mapped:
+            failures.append(
+                f"static site {key} has no AllocCounters stream; add "
+                "a counter (common/alloc_counters.hh) so the runtime "
+                "view covers it")
+
+    for failure in failures:
+        print(f"fp_hotpath_runtime_check: MISMATCH: {failure}")
+    print(f"fp_hotpath_runtime_check: {len(sites)} static site(s), "
+          f"{len(alloc)} runtime counter(s), "
+          f"{len(failures)} mismatch(es)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

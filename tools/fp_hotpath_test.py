@@ -1,0 +1,364 @@
+#!/usr/bin/env python3
+"""Self-tests for fp_hotpath.py (and the fp_cpplex lexer underneath):
+every rule's positive and negative cases, waiver handling, and the
+lexer edge cases (raw strings, macros, block comments) the
+function-scope parser must survive. Pure stdlib unittest, registered
+with ctest as `fp_hotpath_selftest` so a rule regression fails tier-1
+the same way a simulator regression does.
+
+Each case writes a synthetic source tree into a temp dir and asserts
+exactly which (rule, line) findings come back, so both missed
+detections and false positives fail.
+"""
+
+import importlib.util
+import os
+import sys
+import tempfile
+import unittest
+
+_TOOLS = os.path.dirname(os.path.abspath(__file__))
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(
+        name, os.path.join(_TOOLS, name + ".py"))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+fp_cpplex = _load("fp_cpplex")
+fp_hotpath = _load("fp_hotpath")
+
+
+class HotpathCase(unittest.TestCase):
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+        self.root = self._dir.name
+
+    def tearDown(self):
+        self._dir.cleanup()
+
+    def write(self, rel, text):
+        path = os.path.join(self.root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+        return path
+
+    def analyze(self, files):
+        """files: {relpath: text}. Returns ([(rule, line)], inventory)."""
+        paths = sorted(self.write(rel, text) for rel, text in files.items())
+        findings, inventory = fp_hotpath.analyze(paths, self.root)
+        return [(f.rule, f.line) for f in findings], inventory
+
+    def findings(self, text, rel="a.cc"):
+        return self.analyze({rel: text})[0]
+
+
+class LexerTest(unittest.TestCase):
+    """fp_cpplex edge cases the hot-path parser depends on."""
+
+    def test_block_comment_produces_no_tokens(self):
+        toks = fp_cpplex.lex("int a; /* int b; */ int c;")
+        self.assertEqual([t.text for t in toks if t.kind == "ident"],
+                         ["int", "a", "int", "c"])
+
+    def test_raw_string_is_one_token(self):
+        toks = fp_cpplex.lex('auto s = R"js({"new": 1})js"; new X;')
+        kinds = [(t.kind, t.text) for t in toks]
+        self.assertIn(("string", '""'), kinds)
+        # The "new" inside the raw string must not leak out as code.
+        self.assertEqual([t for t in toks if t.text == "new"],
+                         [toks[-3]])
+
+    def test_digit_separator_is_not_char_literal(self):
+        toks = fp_cpplex.lex("x = 1'000'000;")
+        self.assertEqual([t.kind for t in toks if t.text.startswith("1")],
+                         ["number"])
+
+    def test_scrub_preserves_line_count_and_waivers(self):
+        text = ("int a; /* multi\n"
+                "line */ int b;\n"
+                "// fp-lint: allow(hot-alloc) reason\n"
+                '// ordinary comment\n')
+        lines = fp_cpplex.scrub(text)
+        self.assertEqual(len(lines), text.count("\n") + 1)
+        self.assertIn("fp-lint: allow(hot-alloc)", lines[2])
+        self.assertNotIn("ordinary", lines[3])
+
+    def test_preprocessor_continuation(self):
+        toks = fp_cpplex.lex("#define M(x) \\\n    do_thing(x)\nint y;")
+        self.assertEqual([t.text for t in toks if t.kind == "ident"],
+                         ["int", "y"])
+
+    def test_project_includes(self):
+        text = ('#include "common/types.hh"\n'
+                "#include <vector>\n"
+                '#  include "gpu/port.hh"\n')
+        self.assertEqual(fp_cpplex.project_includes(text),
+                         ["common/types.hh", "gpu/port.hh"])
+
+
+class HotAllocTest(HotpathCase):
+    def test_allocation_kinds_flagged(self):
+        found = self.findings(
+            "FP_HOT void f() {\n"
+            "    auto *e = new Event();\n"
+            "    auto p = std::make_shared<Msg>();\n"
+            "    auto q = std::make_unique<Msg>();\n"
+            "    std::function<void()> fn = cb;\n"
+            "    std::string label = base + suffix;\n"
+            "}\n")
+        self.assertEqual(found, [("hot-alloc", 2), ("hot-alloc", 3),
+                                 ("hot-alloc", 4), ("hot-alloc", 5),
+                                 ("hot-alloc", 6)])
+
+    def test_cold_function_may_allocate(self):
+        self.assertEqual(self.findings(
+            "FP_COLD void setup() {\n"
+            "    auto *e = new Event();\n"
+            "}\n"
+            "void unannotated() {\n"
+            "    auto p = std::make_shared<Msg>();\n"
+            "}\n"), [])
+
+    def test_waived_alloc_is_inventoried_not_flagged(self):
+        found, inventory = self.analyze({"a.cc": (
+            "FP_HOT void f() {\n"
+            "    // fp-lint: allow(hot-alloc) pooled in ROADMAP item 1\n"
+            "    auto *e = new Event();\n"
+            "}\n")})
+        self.assertEqual(found, [])
+        sites = inventory["allocation_sites"]
+        self.assertEqual(len(sites), 1)
+        self.assertTrue(sites[0]["waived"])
+        self.assertEqual(sites[0]["kind"], "new")
+        self.assertEqual(sites[0]["function"], "f")
+
+    def test_waiver_without_reason_is_error(self):
+        found = self.findings(
+            "FP_HOT void f() {\n"
+            "    // fp-lint: allow(hot-alloc)\n"
+            "    auto *e = new Event();\n"
+            "}\n")
+        self.assertEqual([r for r, _ in found], ["hot-alloc"])
+
+    def test_new_inside_raw_string_not_flagged(self):
+        self.assertEqual(self.findings(
+            "FP_HOT void f() {\n"
+            '    const char *s = R"(allocating new Event)";\n'
+            '    buffer.assign(R"(std::make_shared<X>() here)");\n'
+            "}\n"), [])
+
+    def test_new_inside_macro_argument_not_flagged(self):
+        # Assertion macros stringify expressions; their argument spans
+        # are cold by definition (they fire on the way to abort).
+        self.assertEqual(self.findings(
+            "FP_HOT void f() {\n"
+            "    fp_assert(ok, describe(new_count));\n"
+            "}\n"), [])
+
+
+class HotEscapeTest(HotpathCase):
+    def test_call_to_unannotated_function_flagged(self):
+        found = self.findings(
+            "void helper() {}\n"
+            "FP_HOT void f() {\n"
+            "    helper();\n"
+            "}\n")
+        self.assertEqual(found, [("hot-escape", 3)])
+
+    def test_call_to_hot_or_cold_function_ok(self):
+        self.assertEqual(self.findings(
+            "FP_HOT void fast() {}\n"
+            "FP_COLD void slow() {}\n"
+            "FP_HOT void f() {\n"
+            "    fast();\n"
+            "    slow();\n"
+            "}\n"), [])
+
+    def test_annotation_seen_across_files(self):
+        # Declaration annotated in the header, call in another file.
+        found, _ = self.analyze({
+            "b.hh": "FP_HOT void fast();\n",
+            "a.cc": ("FP_HOT void f() {\n"
+                     "    fast();\n"
+                     "}\n"),
+        })
+        self.assertEqual(found, [])
+
+    def test_method_annotation_matched_through_object_call(self):
+        self.assertEqual(self.findings(
+            "class Q {\n"
+            "  public:\n"
+            "    FP_HOT void push(int v);\n"
+            "};\n"
+            "FP_HOT void f(Q &q) {\n"
+            "    q.push(1);\n"
+            "}\n"), [])
+
+    def test_trivial_std_calls_allowed(self):
+        self.assertEqual(self.findings(
+            "FP_HOT void f(std::vector<int> &v) {\n"
+            "    v.push_back(std::min(3, 4));\n"
+            "    std::sort(v.begin(), v.end());\n"
+            "}\n"), [])
+
+    def test_unknown_external_call_flagged(self):
+        found = self.findings(
+            "FP_HOT void f() {\n"
+            "    frobnicate();\n"
+            "}\n")
+        self.assertEqual(found, [("hot-escape", 2)])
+
+    def test_waiver_on_call_accepted(self):
+        self.assertEqual(self.findings(
+            "FP_HOT void f() {\n"
+            "    // fp-lint: allow(hot-escape) indirect hook\n"
+            "    callback();\n"
+            "}\n"), [])
+
+    def test_lambda_body_checked_as_enclosing_function(self):
+        found = self.findings(
+            "void helper() {}\n"
+            "FP_HOT void f() {\n"
+            "    auto fn = [&] {\n"
+            "        helper();\n"
+            "    };\n"
+            "}\n")
+        self.assertEqual(found, [("hot-escape", 4)])
+
+
+class ScheduleLabelTest(HotpathCase):
+    def test_unlabeled_lambda_schedule_flagged(self):
+        found = self.findings(
+            "void f(EventQueue &q) {\n"
+            "    q.schedule([this] { step(); }, when);\n"
+            "    q.scheduleIn([this] { step(); }, delay);\n"
+            "}\n")
+        self.assertEqual(found, [("schedule-label", 2),
+                                 ("schedule-label", 3)])
+
+    def test_labeled_schedule_ok(self):
+        self.assertEqual(self.findings(
+            "void f(EventQueue &q) {\n"
+            "    q.schedule([this] { step(); }, when,\n"
+            "               Event::prio_default, \"step\");\n"
+            "    q.scheduleIn([this] { step(); }, delay,\n"
+            "                 Event::prio_default, \"step\");\n"
+            "}\n"), [])
+
+    def test_event_pointer_overload_needs_no_label(self):
+        # The 2-arg Event* overload labels via Event::description().
+        self.assertEqual(self.findings(
+            "void f(EventQueue &q, Event *e) {\n"
+            "    q.schedule(e, when);\n"
+            "}\n"), [])
+
+    def test_comma_inside_lambda_args_not_miscounted(self):
+        # Calls and templates inside the lambda body must not make a
+        # 4-argument call look shorter or longer than it is.
+        self.assertEqual(self.findings(
+            "void f(EventQueue &q) {\n"
+            "    q.schedule([this] { emit(a, b); }, when,\n"
+            "               Event::prio_default, \"emit\");\n"
+            "}\n"), [])
+
+
+class ObserverPurityTest(HotpathCase):
+    def test_observer_scheduling_from_hook_flagged(self):
+        found = self.findings(
+            "class QueueObserver {\n"
+            "  public:\n"
+            "    virtual void beginEvent(const Event &e) = 0;\n"
+            "};\n"
+            "class Meddler : public QueueObserver {\n"
+            "    void beginEvent(const Event &e) override {\n"
+            "        _q.scheduleIn([] {}, 1, 0, \"meddle\");\n"
+            "    }\n"
+            "};\n")
+        self.assertEqual(found, [("observer-purity", 7)])
+
+    def test_observer_passive_hook_ok(self):
+        self.assertEqual(self.findings(
+            "class QueueObserver {\n"
+            "  public:\n"
+            "    virtual void beginEvent(const Event &e) = 0;\n"
+            "};\n"
+            "class Recorder : public QueueObserver {\n"
+            "    void beginEvent(const Event &e) override {\n"
+            "        _count += 1;\n"
+            "    }\n"
+            "};\n"), [])
+
+    def test_non_observer_class_may_schedule(self):
+        self.assertEqual(self.findings(
+            "class Port {\n"
+            "    void beginEvent() {\n"
+            "        _q.scheduleIn([] {}, 1, 0, \"ok\");\n"
+            "    }\n"
+            "};\n"), [])
+
+    def test_transitive_observer_base_detected(self):
+        found = self.findings(
+            "class RwqObserver {\n"
+            "  public:\n"
+            "    virtual void windowFlushed(const F &f, R r) = 0;\n"
+            "};\n"
+            "class Base : public RwqObserver {};\n"
+            "class Derived : public Base {\n"
+            "    void windowFlushed(const F &f, R r) override {\n"
+            "        _q.schedule([] {}, 1, 0, \"bad\");\n"
+            "    }\n"
+            "};\n")
+        self.assertEqual(found, [("observer-purity", 8)])
+
+
+class InventoryTest(HotpathCase):
+    def test_inventory_lists_functions_and_sites(self):
+        _, inventory = self.analyze({"a.hh": (
+            "class Q {\n"
+            "  public:\n"
+            "    FP_HOT void push(int v);\n"
+            "    FP_COLD void dump() const;\n"
+            "};\n"
+            "FP_HOT inline void fire() {\n"
+            "    // fp-lint: allow(hot-alloc) seam\n"
+            "    auto p = std::make_shared<M>();\n"
+            "}\n")})
+        self.assertEqual(inventory["schema_version"], 1)
+        self.assertEqual(inventory["kind"], "hotpath")
+        hot = {(f["scope"], f["name"])
+               for f in inventory["hot_functions"]}
+        self.assertIn(("Q", "push"), hot)
+        self.assertIn(("", "fire"), hot)
+        cold = {(f["scope"], f["name"])
+                for f in inventory["cold_functions"]}
+        self.assertIn(("Q", "dump"), cold)
+        self.assertEqual(
+            [s["kind"] for s in inventory["allocation_sites"]],
+            ["make_shared"])
+
+    def test_inventory_is_deterministic(self):
+        files = {
+            "b.cc": "FP_HOT void beta() {}\n",
+            "a.cc": "FP_HOT void alpha() {}\n",
+        }
+        _, inv1 = self.analyze(files)
+        fresh = HotpathCase()
+        fresh.setUp()
+        try:
+            _, inv2 = fresh.analyze(files)
+        finally:
+            fresh.tearDown()
+        strip = lambda inv: [(f["file"], f["scope"], f["name"])
+                             for f in inv["hot_functions"]]
+        self.assertEqual(strip(inv1), strip(inv2))
+        self.assertEqual(strip(inv1),
+                         sorted(strip(inv1)))
+
+
+if __name__ == "__main__":
+    sys.exit(unittest.main())

@@ -12,12 +12,13 @@ suspects lexically:
   unseeded-rng         rand()/srand() and std::random_device (the
                        repo's common::Rng must be seeded explicitly).
   unordered-iteration  range-for over a std::unordered_map/set
-                       declared in the same file. Iteration order is
-                       implementation-defined; iterating one into any
-                       ordered output (messages, traces, stats) is the
-                       classic silent nondeterminism. Sort the keys
-                       first, or waive when the consumer is
-                       order-insensitive.
+                       declared in this file, its sibling header, or
+                       any project header it #includes (one level).
+                       Iteration order is implementation-defined;
+                       iterating one into any ordered output
+                       (messages, traces, stats) is the classic
+                       silent nondeterminism. Sort the keys first, or
+                       waive when the consumer is order-insensitive.
 
 Thread-safety companions to the Clang -Wthread-safety build (see
 docs/thread_safety.md):
@@ -40,6 +41,11 @@ Waivers: append `// fp-lint: allow(<rule>) <reason>` to the offending
 line, or place it on the line directly above. Waivers without a reason
 are themselves errors.
 
+Lexing (comment/string/raw-string/preprocessor partitioning) is
+delegated to the shared tools/fp_cpplex.py scanner, the same ground
+truth tools/fp_hotpath.py parses with, so the two analyzers can never
+disagree about what is code.
+
 Usage: tools/fp_lint.py [--root DIR] [PATH...]
 Exits 1 when any unwaived finding remains.
 """
@@ -48,6 +54,9 @@ import argparse
 import os
 import re
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import fp_cpplex  # noqa: E402
 
 RULES = ("wall-clock", "unseeded-rng", "unordered-iteration",
          "raw-concurrency", "global-state")
@@ -118,8 +127,6 @@ GLOBAL_STATE_EXEMPT = re.compile(
     r"|\bfp::(?:Mutex|CondVar|ThreadPool)\b"
     r"|\bFP_GUARDED_BY\b")
 
-LINE_COMMENT = re.compile(r"//(?!\s*fp-lint:).*$")
-STRING = re.compile(r'"(?:[^"\\]|\\.)*"')
 
 
 class Finding:
@@ -133,10 +140,38 @@ class Finding:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
-def strip_noise(line):
-    """Drop string literals and non-waiver comments before matching."""
-    line = STRING.sub('""', line)
-    return LINE_COMMENT.sub("", line)
+_scrub_cache = {}
+
+
+def load_scrubbed(path):
+    """Scrubbed (comment/string-free, line-aligned) lines of `path`.
+
+    Cached: headers get folded into every translation unit that
+    includes them, so each file is lexed once per run.
+    """
+    path = os.path.abspath(path)
+    if path not in _scrub_cache:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        _scrub_cache[path] = (fp_cpplex.scrub(text),
+                              fp_cpplex.project_includes(text))
+    return _scrub_cache[path]
+
+
+def resolve_include(inc, from_path):
+    """Resolve a quoted include against the includer's directory and
+    its ancestors (the build adds src/ to the include path; walking up
+    finds it from any depth without knowing the layout)."""
+    directory = os.path.dirname(os.path.abspath(from_path))
+    for _ in range(6):
+        candidate = os.path.join(directory, inc)
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(directory)
+        if parent == directory:
+            break
+        directory = parent
+    return None
 
 
 def unordered_names(lines):
@@ -150,8 +185,7 @@ def unordered_names(lines):
     stray '<' cannot make the scan quadratic).
     """
     names = set()
-    for idx, raw in enumerate(lines):
-        line = strip_noise(raw)
+    for idx, line in enumerate(lines):
         m = UNORDERED_DECL.search(line)
         if not m:
             continue
@@ -163,7 +197,7 @@ def unordered_names(lines):
             close = template_close(line, m.end() - 1)
             if close is not None and DECL_NAME.search(line[close:]):
                 break
-            line = line + " " + strip_noise(joined)
+            line = line + " " + joined
         close = template_close(line, m.end() - 1)
         if close is None:
             continue
@@ -227,9 +261,9 @@ def namespace_scope_mask(lines):
     stack = []  # True per open brace that preserves namespace scope
     head = ""   # text since the last ';' / '{' / '}'
     parens = 0  # unbalanced '(': inside a parameter / argument list
-    for raw in lines:
+    for line in lines:
         mask.append(all(stack) and parens == 0)
-        for c in strip_noise(raw):
+        for c in line:
             if c == "(":
                 parens += 1
             elif c == ")":
@@ -268,26 +302,31 @@ def waiver_for(lines, idx):
 
 
 def lint_file(path, findings):
-    with open(path, encoding="utf-8", errors="replace") as f:
-        lines = f.read().splitlines()
+    lines, includes = load_scrubbed(path)
     containers = unordered_names(lines)
 
-    # Members iterated in a .cc are declared in the class header; fold
-    # the sibling header's declarations in so `for (x : _map)` is seen.
+    # Members iterated in a .cc are usually declared in a header: fold
+    # the sibling header plus every project header this file includes
+    # (one level -- the declaring header is directly included in
+    # practice) so `for (x : _map)` is seen wherever _map lives.
+    folded = set()
     base, ext = os.path.splitext(path)
     if ext in (".cc", ".cpp"):
         for header_ext in (".hh", ".h", ".hpp"):
             sibling = base + header_ext
             if os.path.isfile(sibling):
-                with open(sibling, encoding="utf-8",
-                          errors="replace") as f:
-                    containers |= unordered_names(f.read().splitlines())
+                folded.add(os.path.abspath(sibling))
+    for inc in includes:
+        resolved = resolve_include(inc, path)
+        if resolved:
+            folded.add(resolved)
+    for header in sorted(folded):
+        containers |= unordered_names(load_scrubbed(header)[0])
 
     allow_raw = is_sync_header(path)
     ns_scope = namespace_scope_mask(lines)
 
-    for idx, raw in enumerate(lines):
-        line = strip_noise(raw)
+    for idx, line in enumerate(lines):
         hits = []
         if WALL_CLOCK.search(line):
             hits.append(("wall-clock",
@@ -305,7 +344,7 @@ def lint_file(path, findings):
                              f"'{ident.group(1)}' "
                              "(implementation-defined order)"))
         if not allow_raw and (RAW_CONCURRENCY.search(line)
-                              or CONCURRENCY_INCLUDE.search(raw)):
+                              or CONCURRENCY_INCLUDE.search(line)):
             hits.append(("raw-concurrency",
                          "raw std concurrency primitive (use the "
                          "annotated fp::Mutex / MutexLock / CondVar / "

@@ -27,6 +27,7 @@ class LintCase(unittest.TestCase):
     def setUp(self):
         self._dir = tempfile.TemporaryDirectory()
         self.root = self._dir.name
+        fp_lint._scrub_cache.clear()
 
     def tearDown(self):
         self._dir.cleanup()
@@ -134,6 +135,48 @@ class UnorderedIterationTest(LintCase):
             "}\n"))
         self.assertEqual(found, [("unordered-iteration", 2)])
 
+    def test_included_header_members_folded_into_cc(self):
+        # The declaring header need not be the sibling: a .cc iterating
+        # a member declared in some *other* project header it includes
+        # is still caught, via the shared lexer's include list.
+        self.write("inc/registry.hh", (
+            "class Registry {\n"
+            "    std::unordered_map<int, int> _entries;\n"
+            "};\n"))
+        found = self.lint("walker.cc", (
+            '#include "inc/registry.hh"\n'
+            "void Registry::dump() {\n"
+            "    for (const auto &kv : _entries)\n"
+            "        use(kv);\n"
+            "}\n"))
+        self.assertEqual(found, [("unordered-iteration", 3)])
+
+    def test_include_resolved_against_ancestor_dirs(self):
+        # Project includes are src/-relative ("gpu/foo.hh"); from a
+        # file in a subdirectory the resolver must walk up to find the
+        # include root, the way the compiler's -I flag does.
+        self.write("common/table.hh", (
+            "class Table {\n"
+            "    std::unordered_set<int> _keys;\n"
+            "};\n"))
+        found = self.lint("gpu/user.cc", (
+            '#include "common/table.hh"\n'
+            "void Table::walk() {\n"
+            "    for (int k : _keys)\n"
+            "        use(k);\n"
+            "}\n"))
+        self.assertEqual(found, [("unordered-iteration", 3)])
+
+    def test_angle_includes_not_folded(self):
+        # <system> includes are external; only quoted project includes
+        # contribute declarations.
+        self.assertEqual(self.lint("a.cc", (
+            "#include <unordered_map>\n"
+            "void f(const std::map<int, int> &m) {\n"
+            "    for (const auto &kv : m)\n"
+            "        use(kv);\n"
+            "}\n")), [])
+
     def test_ordered_container_not_flagged(self):
         self.assertEqual(self.lint("a.cc", (
             "void f() {\n"
@@ -171,6 +214,30 @@ class UnorderedIterationTest(LintCase):
             "    for (const auto &[flows, ticks] : _interference)\n"
             "        json.kv(name(flows), ticks);\n"
             "}\n")), [])
+
+
+class LexerNoiseTest(LintCase):
+    # The shared fp_cpplex scrubber replaced the old per-line regex;
+    # these pin the cases the regex was known to get wrong.
+
+    def test_block_comment_spanning_lines_suppressed(self):
+        self.assertEqual(self.lint("a.cc", (
+            "/* historical code:\n"
+            "   int x = rand();\n"
+            "   std::unordered_map<int, int> m;\n"
+            "*/\n"
+            "void live() {}\n")), [])
+
+    def test_raw_string_contents_suppressed(self):
+        self.assertEqual(self.lint("a.cc", (
+            "const char *doc = R\"(\n"
+            "call rand() and iterate std::mutex tables\n"
+            ")\";\n")), [])
+
+    def test_code_after_block_comment_still_linted(self):
+        found = self.lint("a.cc", (
+            "/* setup */ int x = rand();\n"))
+        self.assertEqual(found, [("unseeded-rng", 1)])
 
 
 class RawConcurrencyTest(LintCase):
