@@ -274,6 +274,15 @@ runSweep(const std::vector<sim::SweepJob> &jobs)
     // guards its queue with an fp::Mutex; construction is C++ magic-
     // static thread safe.
     static sim::SweepRunner runner(benchJobs());
+    // Opt-in run-health heartbeat for long figure sweeps: with
+    // FINEPACK_BENCH_HEARTBEAT_NS=N set, a watchdog thread reports
+    // sweep progress (jobs done/total, ETA) every N nanoseconds as
+    // line-delimited JSON on stderr (docs/run_health.md). Gated on an
+    // environment variable so bench output and digests are untouched
+    // by default.
+    // fp-lint: allow(global-state) internally synchronized: the monitor
+    // only reads the runner's progress atomics; magic-static init.
+    static sim::HealthHeartbeatGuard heartbeat(runner);
     return runner.run(jobs);
 }
 

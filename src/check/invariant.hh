@@ -25,6 +25,8 @@
 #define FP_CHECK_INVARIANT_HH
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 
@@ -32,6 +34,29 @@
 #include "common/sync.h"
 
 namespace fp::check {
+
+/**
+ * Thrown (when exceptions are enabled) on FP_INVARIANT violation: a
+ * SimError carrying the violated invariant's registry name, so the CLI
+ * can map it to the dedicated exit code (common::exit_code::invariant)
+ * and tests can assert *which* invariant tripped. With exceptions
+ * disabled the process instead _Exit()s with that code directly --
+ * either way an invariant trip is distinguishable from a generic panic
+ * by exit status alone (docs/run_health.md).
+ */
+class InvariantViolation : public common::SimError
+{
+  public:
+    InvariantViolation(const char *name, const std::string &message)
+        : SimError(Kind::Panic, message), _name(name)
+    {}
+
+    /** The registry name of the violated invariant (string literal). */
+    const char *invariantName() const { return _name; }
+
+  private:
+    const char *_name;
+};
 
 /** True when FP_INVARIANT checks are compiled into this build. */
 #ifdef FP_CHECK_ENABLED
@@ -49,6 +74,21 @@ inline constexpr bool invariants_enabled = false;
 class InvariantRegistry
 {
   public:
+    /**
+     * Observation hook fired after every recordCheck() (outside the
+     * registry lock): the flight recorder logs invariant names as they
+     * are evaluated so a post-mortem shows which checks the simulator
+     * was running when it died. One slot, process-wide.
+     */
+    using CheckHook = void (*)(void *arg, const char *name);
+    /**
+     * Context hook consulted on failure (outside the lock): returns a
+     * fragment like " while executing 'link.deliver' at tick 1234"
+     * appended to the failure message -- the registry knows *what*
+     * failed, the flight recorder knows what the simulator was doing.
+     */
+    using ContextHook = std::string (*)(void *arg);
+
     static InvariantRegistry &
     instance()
     {
@@ -61,21 +101,62 @@ class InvariantRegistry
     void
     recordCheck(const char *name) FP_EXCLUDES(_mu)
     {
-        fp::MutexLock lock(_mu);
-        ++_counts[name];
-        ++_total;
+        CheckHook hook;
+        void *arg;
+        {
+            fp::MutexLock lock(_mu);
+            ++_counts[name];
+            ++_total;
+            hook = _check_hook;
+            arg = _check_arg;
+        }
+        if (hook)
+            hook(arg, name);
     }
 
     [[noreturn]] void
     fail(const char *name, const char *file, int line,
          const std::string &message) FP_EXCLUDES(_mu)
     {
+        ContextHook context;
+        void *context_arg;
         {
             fp::MutexLock lock(_mu);
             ++_failures;
+            context = _context_hook;
+            context_arg = _context_arg;
         }
-        common::detail::panicImpl(file, line,
-                                  std::string("[") + name + "] " + message);
+        std::string full =
+            std::string("panic: [") + name + "] " + message;
+        if (context)
+            full += context(context_arg);
+        full += std::string(" @ ") + file + ":" + std::to_string(line);
+        // Same post-mortem path as fp_panic (the run-health layer's
+        // failure hook), then the invariant-specific exit discipline.
+        common::detail::invokeFailureHook(full.c_str());
+        if (common::exceptionsEnabled())
+            throw InvariantViolation(name, full);
+        std::fputs(full.c_str(), stderr);
+        std::fputc('\n', stderr);
+        std::_Exit(common::exit_code::invariant);
+    }
+
+    /** Install/clear the per-evaluation hook (nullptr clears). */
+    void
+    setCheckHook(CheckHook hook, void *arg) FP_EXCLUDES(_mu)
+    {
+        fp::MutexLock lock(_mu);
+        _check_hook = hook;
+        _check_arg = arg;
+    }
+
+    /** Install/clear the failure-context hook (nullptr clears). */
+    void
+    setContextHook(ContextHook hook, void *arg) FP_EXCLUDES(_mu)
+    {
+        fp::MutexLock lock(_mu);
+        _context_hook = hook;
+        _context_arg = arg;
     }
 
     /** Evaluations of one named invariant since the last reset. */
@@ -126,6 +207,10 @@ class InvariantRegistry
     std::map<std::string, std::uint64_t> _counts FP_GUARDED_BY(_mu);
     std::uint64_t _total FP_GUARDED_BY(_mu) = 0;
     std::uint64_t _failures FP_GUARDED_BY(_mu) = 0;
+    CheckHook _check_hook FP_GUARDED_BY(_mu) = nullptr;
+    void *_check_arg FP_GUARDED_BY(_mu) = nullptr;
+    ContextHook _context_hook FP_GUARDED_BY(_mu) = nullptr;
+    void *_context_arg FP_GUARDED_BY(_mu) = nullptr;
 };
 
 } // namespace fp::check

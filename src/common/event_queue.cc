@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/invariant.hh"
+#include "common/interrupt.hh"
 
 namespace fp::common {
 
@@ -145,6 +146,13 @@ EventQueue::nextEventTick()
 bool
 EventQueue::step()
 {
+    // Cooperative interrupt: polled before each dispatch (one relaxed
+    // atomic load), so a SIGINT unwinds between events -- never inside
+    // a handler -- and the driver can tear down an internally
+    // consistent partial run. run() and the sampler's pump() both
+    // drain through step(), so one poll point covers every loop.
+    if (interrupt::pending()) [[unlikely]]
+        throw SimInterrupted();
     pruneStale();
     if (_queue.empty())
         return false;

@@ -297,6 +297,13 @@ class EventQueue
     std::size_t peakDepth() const { return _peak_depth; }
 
     /**
+     * Current heap size (live + not-yet-pruned stale entries; an upper
+     * bound on pending events). The run-health layer samples this for
+     * heartbeats and wedge diagnosis; exact liveness would cost a scan.
+     */
+    std::size_t depth() const { return _queue.size(); }
+
+    /**
      * Ownership records still held for queue-owned lambda events
      * (executed ones are reclaimed on the GC threshold and whenever
      * run() completes; exposed so tests can bound retention).

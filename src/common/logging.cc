@@ -12,6 +12,16 @@ namespace {
 std::atomic<bool> exceptions_enabled{true};
 std::atomic<bool> quiet{false};
 
+// The failure hook slot (setFailureHook): two atomics installed
+// together before any simulation thread starts, read on the (cold)
+// failure path only.
+std::atomic<void (*)(void *, const char *)> failure_hook{nullptr};
+std::atomic<void *> failure_hook_arg{nullptr};
+
+// Re-entry guard: a hook that itself panics must not recurse.
+// thread_local -- each thread's failure path guards itself.
+thread_local bool in_failure_hook = false;
+
 /**
  * Installed by ScopedTickContext while a simulation is running.
  * thread_local: each simulation runs on one thread, so under the
@@ -61,13 +71,32 @@ setQuiet(bool q)
     quiet.store(q);
 }
 
+void
+setFailureHook(void (*hook)(void *, const char *), void *arg)
+{
+    failure_hook_arg.store(arg, std::memory_order_relaxed);
+    failure_hook.store(hook, std::memory_order_release);
+}
+
 namespace detail {
+
+void
+invokeFailureHook(const char *message)
+{
+    auto hook = failure_hook.load(std::memory_order_acquire);
+    if (!hook || in_failure_hook)
+        return;
+    in_failure_hook = true;
+    hook(failure_hook_arg.load(std::memory_order_relaxed), message);
+    in_failure_hook = false;
+}
 
 void
 panicImpl(const char *file, int line, const std::string &message)
 {
     std::string full = std::string("panic: ") + message + " @ " + file + ":" +
                        std::to_string(line);
+    invokeFailureHook(full.c_str());
     if (exceptionsEnabled())
         throw SimError(SimError::Kind::Panic, full);
     std::cerr << full << std::endl;

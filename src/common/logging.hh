@@ -23,6 +23,20 @@
 
 namespace fp::common {
 
+/**
+ * Documented process exit codes (docs/run_health.md). The CLI maps
+ * every failure mode onto one of these so campaign drivers can triage
+ * thousands of runs from exit status alone.
+ */
+namespace exit_code {
+inline constexpr int fatal = 1;        ///< user/configuration error
+inline constexpr int usage = 2;        ///< bad command line
+inline constexpr int panic = 3;        ///< simulator bug (fp_panic/assert)
+inline constexpr int invariant = 86;   ///< FP_INVARIANT violation
+inline constexpr int interrupted = 130; ///< SIGINT (128 + 2)
+inline constexpr int terminated = 143;  ///< SIGTERM (128 + 15)
+} // namespace exit_code
+
 /** Thrown by panic()/fatal() so tests can observe failures without dying. */
 class SimError : public std::runtime_error
 {
@@ -58,7 +72,28 @@ formatMessage(Args &&...args)
 void warnImpl(const std::string &message);
 void informImpl(const std::string &message);
 
+/**
+ * Fire the installed failure hook (recursion-guarded, no-op when none
+ * is installed). Called on the panic path before the SimError throws
+ * or the process aborts, and by InvariantRegistry::fail; user errors
+ * (fatal()) do not fire it -- a bad command line needs no post-mortem.
+ */
+void invokeFailureHook(const char *message);
+
 } // namespace detail
+
+/**
+ * Install a hook that runs once per simulator-bug failure (panic,
+ * failed assertion, invariant violation) just before the error
+ * propagates. The run-health layer installs a post-mortem dump here so
+ * an FP_INVARIANT trip or a ProtocolOracle mismatch flushes the flight
+ * recorder even when the exception is swallowed upstream. Install
+ * before starting threads (the slot is two plain atomics, not a
+ * synchronized pair); pass nullptr to uninstall. The hook must not
+ * panic -- re-entry is suppressed, not queued.
+ */
+void setFailureHook(void (*hook)(void *arg, const char *message),
+                    void *arg);
 
 /**
  * Control whether panic()/fatal() throw SimError (used by unit tests) or

@@ -30,8 +30,10 @@
 #ifndef FP_COMMON_SYNC_H
 #define FP_COMMON_SYNC_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -157,11 +159,75 @@ class CondVar
         relock.release();
     }
 
+    /**
+     * wait() with a deadline: blocks at most @p timeout_ns nanoseconds.
+     * Returns true when notified, false on timeout; either way the
+     * mutex is reacquired before returning, and as with wait() the
+     * caller must re-check its predicate (spurious wakeups and the
+     * notify/timeout race both surface as "woke without the predicate").
+     * This is what periodic background services (the run-health
+     * watchdog) block on, so stop() can interrupt a sleep instantly by
+     * notifying instead of waiting out the period.
+     */
+    bool
+    waitFor(Mutex &mu, std::uint64_t timeout_ns) FP_REQUIRES(mu)
+    {
+        std::unique_lock<std::mutex> relock(mu._m, std::adopt_lock);
+        auto status =
+            _cv.wait_for(relock, std::chrono::nanoseconds(timeout_ns));
+        relock.release();
+        return status == std::cv_status::no_timeout;
+    }
+
     void notify_one() { _cv.notify_one(); }
     void notify_all() { _cv.notify_all(); }
 
   private:
     std::condition_variable _cv;
+};
+
+/**
+ * A single background thread for long-lived services that are not
+ * batch-shaped (the run-health watchdog): ThreadPool::parallelFor is a
+ * blocking barrier, so anything that must run *alongside* the caller
+ * needs its own thread. RAII: joins on destruction, so the service
+ * body must observe its own stop flag (under an fp::Mutex / CondVar)
+ * or the destructor blocks forever. Detaching is deliberately not
+ * offered -- detached threads outlive every scope the thread-safety
+ * analysis (and the fp-lint raw-concurrency rule) reasons about.
+ */
+class Thread
+{
+  public:
+    Thread() = default;
+
+    explicit Thread(std::function<void()> fn) : _thread(std::move(fn)) {}
+
+    ~Thread() { join(); }
+
+    Thread(const Thread &) = delete;
+    Thread &operator=(const Thread &) = delete;
+
+    Thread(Thread &&) = default;
+    Thread &operator=(Thread &&other)
+    {
+        join();
+        _thread = std::move(other._thread);
+        return *this;
+    }
+
+    bool joinable() const { return _thread.joinable(); }
+
+    /** Wait for the body to return; no-op when not joinable. */
+    void
+    join()
+    {
+        if (_thread.joinable())
+            _thread.join();
+    }
+
+  private:
+    std::thread _thread;
 };
 
 /**

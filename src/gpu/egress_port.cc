@@ -5,6 +5,7 @@
 #include "check/invariant.hh"
 #include "check/protocol_oracle.hh"
 #include "common/bitutil.hh"
+#include "obs/flight_recorder.hh"
 
 namespace fp::gpu {
 
@@ -435,6 +436,10 @@ EgressPort::sendFlushed(const finepack::FlushedPartition &flushed)
     _stores_per_msg.sample(
         static_cast<double>(flushed.packed_store_count));
     _flush_entries.sample(static_cast<double>(flushed.entries.size()));
+    if (_recorder)
+        _recorder->record(obs::FlightKind::rwq_flush, curTick(),
+                          finepack::toString(flushed.reason),
+                          flushed.entries.size(), flushed.dst);
     _fabric.inject(msg);
 }
 

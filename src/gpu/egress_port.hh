@@ -112,6 +112,15 @@ class EgressPort : public common::SimObject
     void setLatencyCollector(obs::LatencyCollector *latency)
     { _latency = latency; }
 
+    /**
+     * Attach a flight recorder (nullptr disables): every RWQ window
+     * flush appends one `rwq_flush` ring record labeled with its
+     * FlushReason (entries, dst). Off costs one branch per flush; see
+     * docs/run_health.md.
+     */
+    void setFlightRecorder(obs::FlightRecorder *recorder)
+    { _recorder = recorder; }
+
     EgressMode mode() const { return _mode; }
     GpuId self() const { return _self; }
 
@@ -152,6 +161,7 @@ class EgressPort : public common::SimObject
     check::ProtocolOracle *_oracle = nullptr;
     obs::TraceSink *_tracer = nullptr;
     obs::LatencyCollector *_latency = nullptr;
+    obs::FlightRecorder *_recorder = nullptr;
     /** Trace adapters (finepack mode, tracer attached). */
     std::unique_ptr<finepack::RwqObserver> _rwq_trace;
     std::unique_ptr<finepack::PacketizerObserver> _packet_trace;

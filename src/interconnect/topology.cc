@@ -1,5 +1,6 @@
 #include "interconnect/topology.hh"
 
+#include "obs/flight_recorder.hh"
 #include "obs/flow.hh"
 
 namespace fp::icn {
@@ -67,6 +68,9 @@ SwitchedFabric::inject(const WireMessagePtr &msg)
         _flows->recordInject(msg->src, msg->dst, msg->wireBytes(),
                              msg->payload_bytes, msg->data_bytes,
                              msg->packed_store_count);
+    if (_recorder)
+        _recorder->record(obs::FlightKind::fabric_inject, curTick(),
+                          "fabric.inject", msg->wireBytes(), msg->dst);
     _uplinks[msg->src]->send(msg);
 }
 

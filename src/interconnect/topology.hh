@@ -17,6 +17,10 @@
 #include "interconnect/link.hh"
 #include "interconnect/protocol.hh"
 
+namespace fp::obs {
+class FlightRecorder;
+} // namespace fp::obs
+
 namespace fp::icn {
 
 /** Parameters of the switched interconnect fabric. */
@@ -102,6 +106,14 @@ class SwitchedFabric : public common::SimObject
      */
     void setFlowCollector(obs::FlowCollector *flows);
 
+    /**
+     * Attach a flight recorder (nullptr detaches): every inject()
+     * appends one `fabric_inject` ring record (wire bytes, dst). Off
+     * costs one branch per message; see docs/run_health.md.
+     */
+    void setFlightRecorder(obs::FlightRecorder *recorder)
+    { _recorder = recorder; }
+
   private:
     FP_HOT void forward(const WireMessagePtr &msg);
 
@@ -112,6 +124,7 @@ class SwitchedFabric : public common::SimObject
     std::vector<IngressFn> _ingress;
     obs::TraceSink *_tracer = nullptr;
     obs::FlowCollector *_flows = nullptr;
+    obs::FlightRecorder *_recorder = nullptr;
     /** Deterministic flow-event chain ids (full trace detail only). */
     std::uint64_t _next_flow_id = 0;
 };

@@ -1,0 +1,315 @@
+// fp-lint: async-signal-safe
+//
+// This translation unit runs inside signal handlers: the marker above
+// places the whole file under fp_lint.py's signal-safety rule, which
+// bans allocation (malloc / operator new / make_*), stdio/iostream
+// formatting, std::string, exceptions, and the logging macros. The
+// only I/O primitive here is write(2); integers are formatted by hand;
+// every piece of handler-visible state is a static atomic or a buffer
+// filled at install() time. See src/obs/fatal.hh for the semantics.
+
+#include "obs/fatal.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+
+#include "common/interrupt.hh"
+#include "common/logging.hh"
+#include "obs/flight_recorder.hh"
+
+namespace fp::obs::fatal {
+
+namespace {
+
+constexpr std::size_t max_path = 512;
+constexpr std::size_t max_provenance = 2048;
+constexpr std::size_t max_heartbeat = 4096;
+
+// Handler-visible state: buffers are written at install() /
+// setLastHeartbeat() time; the handler only loads atomics and reads
+// the buffers they publish.
+// fp-lint: allow(global-state) install-time-written buffers published via atomics; signal handlers read lock-free by design
+struct
+{
+    std::atomic<const FlightRecorder *> recorder{nullptr};
+    char path[max_path] = {0};
+    std::atomic<bool> have_path{false};
+    char provenance[max_provenance] = {0};
+    std::atomic<bool> have_provenance{false};
+    // Heartbeat double buffer: the monitor fills the non-published
+    // side, then flips hb_ready (-1 = none yet). A reader overlapping
+    // two subsequent flips can see a torn line; post-mortems are
+    // diagnostic, so that bounded race is accepted over locking.
+    char heartbeat[2][max_heartbeat];
+    std::atomic<int> hb_ready{-1};
+    std::atomic<bool> installed{false};
+    std::atomic<unsigned> sigint_seen{0};
+    std::atomic<unsigned> postmortems{0};
+} state;
+
+void
+copyBounded(char *dst, std::size_t cap, const char *src)
+{
+    std::size_t i = 0;
+    for (; src && src[i] && i + 1 < cap; ++i)
+        dst[i] = src[i];
+    dst[i] = '\0';
+}
+
+/**
+ * Buffered write(2) with manual formatting -- the only output path in
+ * this file. Best effort: a failed write is ignored (there is nothing
+ * a dying process can do about it).
+ */
+struct SigWriter
+{
+    int fd = 2;
+    char buf[1024];
+    std::size_t len = 0;
+
+    void
+    flushBuf()
+    {
+        if (len == 0)
+            return;
+        ssize_t rc = ::write(fd, buf, len);
+        (void)rc;
+        len = 0;
+    }
+
+    void
+    put(char c)
+    {
+        if (len == sizeof(buf))
+            flushBuf();
+        buf[len++] = c;
+    }
+
+    void
+    raw(const char *s)
+    {
+        for (; *s; ++s)
+            put(*s);
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        char digits[20];
+        std::size_t n = 0;
+        do {
+            digits[n++] = static_cast<char>('0' + v % 10);
+            v /= 10;
+        } while (v != 0);
+        while (n != 0)
+            put(digits[--n]);
+    }
+
+    /** JSON string-body escaping: quotes, backslashes, control chars. */
+    void
+    escaped(const char *s)
+    {
+        for (; s && *s; ++s) {
+            char c = *s;
+            if (c == '"' || c == '\\') {
+                put('\\');
+                put(c);
+            } else if (c == '\n') {
+                put('\\');
+                put('n');
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                put(' ');
+            } else {
+                put(c);
+            }
+        }
+    }
+
+    void
+    kvU64(const char *key, std::uint64_t value)
+    {
+        put(',');
+        put('"');
+        raw(key);
+        raw("\":");
+        u64(value);
+    }
+};
+
+void
+writeRing(SigWriter &w, const FlightRecorder &recorder)
+{
+    const FlightRecorder::Slot *slots = recorder.slots();
+    std::uint64_t cap = recorder.capacity();
+    std::uint64_t next = recorder.nextSeq();
+    std::uint64_t first = next > cap ? next - cap + 1 : 1;
+    bool any = false;
+    w.raw(",\"ring\":[");
+    for (std::uint64_t seq = first; seq <= next; ++seq) {
+        const FlightRecorder::Slot &slot = slots[(seq - 1) & (cap - 1)];
+        if (slot.seq.load(std::memory_order_relaxed) != seq)
+            continue; // being overwritten right now -- skip
+        if (any)
+            w.put(',');
+        any = true;
+        w.raw("{\"seq\":");
+        w.u64(seq);
+        w.raw(",\"kind\":\"");
+        w.raw(toString(static_cast<FlightKind>(
+            slot.kind.load(std::memory_order_relaxed))));
+        w.raw("\",\"tick\":");
+        w.u64(slot.tick.load(std::memory_order_relaxed));
+        w.raw(",\"label\":\"");
+        w.escaped(slot.label.load(std::memory_order_relaxed));
+        w.put('"');
+        w.kvU64("a", slot.a.load(std::memory_order_relaxed));
+        w.kvU64("b", slot.b.load(std::memory_order_relaxed));
+        w.put('}');
+    }
+    w.put(']');
+}
+
+void
+writeDocument(int fd, const char *reason)
+{
+    SigWriter w;
+    w.fd = fd;
+    w.raw("{\"kind\":\"postmortem\",\"schema_version\":1,\"reason\":\"");
+    w.escaped(reason);
+    w.raw("\",\"provenance\":");
+    w.raw(state.have_provenance.load(std::memory_order_acquire)
+              ? state.provenance
+              : "{}");
+    const FlightRecorder *recorder =
+        state.recorder.load(std::memory_order_acquire);
+    if (recorder) {
+        w.kvU64("records_written", recorder->recordsWritten());
+        w.kvU64("events_seen", recorder->eventsSeen());
+        w.kvU64("last_tick", recorder->lastTick());
+        w.raw(",\"queue\":{\"depth\":");
+        w.u64(recorder->queueDepth());
+        w.kvU64("peak", recorder->queuePeakDepth());
+        w.kvU64("scheduled", recorder->queueScheduled());
+        w.kvU64("processed", recorder->queueProcessed());
+        w.raw("},\"counts\":{\"events\":");
+        w.u64(recorder->kindCount(FlightKind::event));
+        w.kvU64("rwq_flushes",
+                recorder->kindCount(FlightKind::rwq_flush));
+        w.kvU64("fabric_injects",
+                recorder->kindCount(FlightKind::fabric_inject));
+        w.kvU64("invariants",
+                recorder->kindCount(FlightKind::invariant));
+        w.put('}');
+        writeRing(w, *recorder);
+    }
+    w.raw(",\"last_heartbeat\":");
+    int hb = state.hb_ready.load(std::memory_order_acquire);
+    if (hb >= 0)
+        w.raw(state.heartbeat[hb]);
+    else
+        w.raw("null");
+    w.raw("}\n");
+    w.flushBuf();
+}
+
+void
+dumpPostmortem(const char *reason)
+{
+    state.postmortems.fetch_add(1, std::memory_order_relaxed);
+    if (state.have_path.load(std::memory_order_acquire)) {
+        int fd = ::open(state.path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd >= 0) {
+            writeDocument(fd, reason);
+            ::close(fd);
+            return;
+        }
+    }
+    writeDocument(2, reason);
+}
+
+void
+handleSignal(int sig)
+{
+    if (sig == SIGINT) {
+        // First ^C: dump, raise the cooperative flag, and return so
+        // the simulation unwinds and partial stats get flushed.
+        // Second ^C: the operator means it.
+        if (state.sigint_seen.fetch_add(1, std::memory_order_relaxed) >
+            0)
+            ::_exit(common::exit_code::interrupted);
+        dumpPostmortem("signal:SIGINT");
+        common::interrupt::request();
+        return;
+    }
+    if (sig == SIGTERM) {
+        dumpPostmortem("signal:SIGTERM");
+        ::_exit(common::exit_code::terminated);
+    }
+    dumpPostmortem(sig == SIGSEGV ? "signal:SIGSEGV"
+                                  : "signal:SIGABRT");
+    // Restore the default action and re-raise: the core dump / abort
+    // still happens, with our document already written.
+    std::signal(sig, SIG_DFL);
+    ::raise(sig);
+}
+
+} // namespace
+
+void
+install(const Config &config)
+{
+    state.recorder.store(config.recorder, std::memory_order_release);
+    if (config.postmortem_path && config.postmortem_path[0] != '\0') {
+        copyBounded(state.path, max_path, config.postmortem_path);
+        state.have_path.store(true, std::memory_order_release);
+    } else {
+        state.have_path.store(false, std::memory_order_release);
+    }
+    if (config.provenance_json && config.provenance_json[0] != '\0') {
+        copyBounded(state.provenance, max_provenance,
+                    config.provenance_json);
+        state.have_provenance.store(true, std::memory_order_release);
+    } else {
+        state.have_provenance.store(false, std::memory_order_release);
+    }
+    if (state.installed.exchange(true))
+        return; // reconfigured; handlers already registered
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = handleSignal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESTART;
+    for (int sig : {SIGINT, SIGTERM, SIGSEGV, SIGABRT})
+        sigaction(sig, &action, nullptr);
+}
+
+void
+setLastHeartbeat(const char *json, std::size_t length)
+{
+    if (length + 1 > max_heartbeat)
+        length = max_heartbeat - 1;
+    int current = state.hb_ready.load(std::memory_order_relaxed);
+    int target = current == 0 ? 1 : 0;
+    std::memcpy(state.heartbeat[target], json, length);
+    state.heartbeat[target][length] = '\0';
+    state.hb_ready.store(target, std::memory_order_release);
+}
+
+void
+writePostmortem(const char *reason)
+{
+    dumpPostmortem(reason);
+}
+
+unsigned
+postmortemsWritten()
+{
+    return state.postmortems.load(std::memory_order_relaxed);
+}
+
+} // namespace fp::obs::fatal

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Async-signal-safe fatal handlers and the post-mortem writer.
+ *
+ * install() registers handlers for SIGINT / SIGTERM / SIGSEGV /
+ * SIGABRT that flush a `kind:"postmortem"` JSON document -- flight
+ * recorder ring, last heartbeat, queue depth/peak, build provenance --
+ * using only write(2) and manual integer formatting, then apply the
+ * per-signal exit discipline (docs/run_health.md):
+ *
+ *   SIGINT   first: dump post-mortem, raise the cooperative interrupt
+ *            flag (common/interrupt.hh) and return, so the simulation
+ *            unwinds and the CLI flushes partial stats before exiting
+ *            with exit_code::interrupted. Second SIGINT: _exit(130).
+ *   SIGTERM  dump post-mortem, _exit(143).
+ *   SIGSEGV/ dump post-mortem, restore the default handler, re-raise
+ *   SIGABRT  (the core dump / abort still happens).
+ *
+ * writePostmortem() is the same formatter callable from normal code:
+ * the logging failure hook points here so an FP_INVARIANT violation or
+ * a ProtocolOracle mismatch (fp_panic) produces the same document as a
+ * crash.
+ *
+ * The implementation translation unit (fatal.cc) is marked
+ * `fp-lint: async-signal-safe`, which puts it under fp_lint.py's
+ * signal-safety rule: no allocation, no iostream/printf, no
+ * std::string, no logging macros, no throw -- enforced lexically, with
+ * self-tests, so the one file that runs inside signal handlers cannot
+ * quietly grow a malloc. This header is *consumed* by normal code and
+ * carries no such restriction, but its API is const char* / POD only
+ * so the implementation never needs unsafe types.
+ */
+
+#ifndef FP_OBS_FATAL_HH
+#define FP_OBS_FATAL_HH
+
+#include <cstddef>
+
+namespace fp::obs {
+
+class FlightRecorder;
+
+namespace fatal {
+
+/**
+ * What the handlers may touch. Everything is copied into static
+ * storage (or stored as a raw pointer the caller keeps alive for the
+ * process lifetime) at install() time -- the handler itself reads only
+ * statics and atomics.
+ */
+struct Config
+{
+    /** Ring to dump (nullable: post-mortems still carry provenance). */
+    const FlightRecorder *recorder = nullptr;
+    /** Post-mortem file path; nullptr/empty writes to stderr. */
+    const char *postmortem_path = nullptr;
+    /**
+     * Preformatted JSON object of build provenance (the caller renders
+     * common::dumpBuildInfoJson once, up front -- the handler must not
+     * format it). nullptr emits an empty object.
+     */
+    const char *provenance_json = nullptr;
+};
+
+/**
+ * Install the signal handlers and arm writePostmortem(). Call once,
+ * early, from the CLI entry point; re-installing just updates the
+ * armed configuration.
+ */
+void install(const Config &config);
+
+/**
+ * Publish the most recent heartbeat line (a complete JSON object) for
+ * inclusion in post-mortems. Bounded copy into a double buffer the
+ * signal handler reads lock-free; called by the HealthMonitor after
+ * each heartbeat.
+ */
+void setLastHeartbeat(const char *json, std::size_t length);
+
+/**
+ * Write the post-mortem document now (async-signal-safe; also the
+ * normal-path entry the logging failure hook uses). @p reason lands in
+ * the document's "reason" field, JSON-escaped.
+ */
+void writePostmortem(const char *reason);
+
+/** Post-mortems written since install() (for tests). */
+unsigned postmortemsWritten();
+
+} // namespace fatal
+
+} // namespace fp::obs
+
+#endif // FP_OBS_FATAL_HH

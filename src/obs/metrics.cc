@@ -30,11 +30,15 @@ void
 MetricsCapture::writeDocument(std::ostream &os,
                               const PeriodicSampler *sampler,
                               const Profiler *profiler,
-                              const FlowCollector *flows) const
+                              const FlowCollector *flows,
+                              bool partial) const
 {
     // The groups snapshot is already-serialized JSON, so the document
     // frame is spliced by hand around it.
-    os << "{\"schema_version\":1,\"provenance\":";
+    os << "{\"schema_version\":1,";
+    if (partial)
+        os << "\"partial\":true,";
+    os << "\"provenance\":";
     {
         common::JsonWriter json(os);
         common::dumpBuildInfoJson(json);

@@ -47,11 +47,18 @@ class MetricsCapture
      * binary and the `host` / `fabric` keys only appear when
      * explicitly requested, so digesting the default-argument document
      * stays stable across instrumented and plain runs.
+     *
+     * @p partial marks a document captured from an interrupted run
+     * (SIGINT): the frame gains `"partial":true` right after the
+     * schema version so downstream tooling never mistakes a truncated
+     * run for a complete one. Complete documents omit the key, keeping
+     * historical digests stable.
      */
     void writeDocument(std::ostream &os,
                        const PeriodicSampler *sampler = nullptr,
                        const Profiler *profiler = nullptr,
-                       const FlowCollector *flows = nullptr) const;
+                       const FlowCollector *flows = nullptr,
+                       bool partial = false) const;
 
   private:
     std::string _groups_json;

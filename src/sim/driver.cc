@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <vector>
 
@@ -9,11 +10,13 @@
 #include "check/digest.hh"
 #include "check/invariant.hh"
 #include "check/protocol_oracle.hh"
+#include "common/interrupt.hh"
 #include "common/logging.hh"
 #include "gpu/dma_engine.hh"
 #include "gpu/egress_port.hh"
 #include "gpu/ingress_port.hh"
 #include "interconnect/topology.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/flow.hh"
 #include "obs/latency.hh"
 #include "obs/metrics.hh"
@@ -153,6 +156,25 @@ struct SimSystem
     std::vector<std::unique_ptr<check::ProtocolOracle>> oracles;
 };
 
+/**
+ * SimConfig::wedge_host_ms spin: burn host wall-clock while simulated
+ * time stands still, so watchdog tests get a reproducible wedged
+ * handler. Polls the cooperative interrupt flag so SIGINT unwinds at
+ * the next queue step instead of after the full spin.
+ */
+FP_COLD void
+spinHostMs(std::uint32_t ms)
+{
+    // fp-lint: allow(wall-clock) deliberate host-time spin (watchdog test aid)
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(ms);
+    // fp-lint: allow(wall-clock) deliberate host-time spin (watchdog test aid)
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (common::interrupt::pending())
+            return;
+    }
+}
+
 gpu::EgressMode
 egressModeFor(Paradigm paradigm)
 {
@@ -194,6 +216,13 @@ SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
     // counters cover the whole run.
     if (_config.profiler)
         _config.profiler->beginRun(&sys.queue);
+    // The flight recorder rides the same hooks; it additionally gets
+    // the queue pointer so beginEvent can publish progress counters
+    // for the watchdog and the signal handler.
+    if (obs::FlightRecorder *recorder = _config.recorder) {
+        sys.queue.addObserver(recorder);
+        recorder->beginRun(&sys.queue);
+    }
     // Stamp warn()/inform() messages with simulated time for the
     // duration of the run.
     common::ScopedTickContext tick_context(
@@ -278,6 +307,12 @@ SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
             port->setFlowCollector(flows);
     }
 
+    if (obs::FlightRecorder *recorder = _config.recorder) {
+        sys.fabric->setFlightRecorder(recorder);
+        for (auto &port : sys.egress)
+            port->setFlightRecorder(recorder);
+    }
+
     obs::PeriodicSampler *sampler = _config.sampler;
     if (sampler) {
         sampler->beginRun();
@@ -325,8 +360,16 @@ SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
 
     baselines::GpsModel gps_model(_config.gps_page_bytes);
 
+    if (_config.wedge_host_ms != 0) {
+        std::uint32_t wedge_ms = _config.wedge_host_ms;
+        sys.queue.schedule([wedge_ms]() { spinHostMs(wedge_ms); }, 0,
+                           common::Event::prio_inject,
+                           "driver.wedge_host");
+    }
+
     Tick t = 0;
     std::size_t iteration_index = 0;
+    try {
     for (const auto &iter : trace.iterations) {
         // Scope the whole iteration: in the hotspot report its self
         // time is driver/queue overhead not attributed to any handler.
@@ -462,6 +505,15 @@ SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
         }
         ++iteration_index;
     }
+    } catch (const common::SimInterrupted &) {
+        // Cooperative interrupt (SIGINT): stop cleanly between events.
+        // Everything below still runs -- counters, stats capture, and
+        // traffic accounting describe the run up to this point -- but
+        // end-of-run drain checks are skipped (work is still in
+        // flight by construction) and the result is marked partial.
+        result.interrupted = true;
+        t = std::max(t, sys.queue.now());
+    }
 
     result.total_time = t;
     result.events_processed = sys.queue.eventsProcessed();
@@ -476,6 +528,10 @@ SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
     // run's wall time and queue/alloc counters into its aggregates.
     if (_config.profiler)
         _config.profiler->endRun();
+    // Publish final queue counters into the recorder and detach it
+    // from this run's queue before teardown.
+    if (_config.recorder)
+        _config.recorder->endRun();
 
     // Capture observability output while the component tree (and with
     // it every registered StatGroup) is still alive.
@@ -490,7 +546,8 @@ SimulationDriver::runEventDriven(const trace::WorkloadTrace &trace,
     // built in that order), so the combined digest is well-defined.
     check::Digest run_digest;
     for (const auto &oracle : sys.oracles) {
-        oracle->verifyDrained();
+        if (!result.interrupted)
+            oracle->verifyDrained();
         result.oracle_transactions += oracle->transactionsVerified();
         result.oracle_stores += oracle->storesRecorded();
         result.oracle_bytes += oracle->bytesVerified();

@@ -29,6 +29,7 @@ class EventQueueObserver;
 } // namespace fp::common
 
 namespace fp::obs {
+class FlightRecorder;
 class FlowCollector;
 class LatencyCollector;
 class MetricsCapture;
@@ -105,6 +106,22 @@ struct SimConfig
      * not the simulated system; never changes simulated results.
      */
     obs::Profiler *profiler = nullptr;
+    /**
+     * Flight recorder: rides the event-queue observer hooks and logs
+     * the last N executed events / RWQ flushes / fabric injects into a
+     * lock-free ring for post-mortems and the stall watchdog. Never
+     * changes simulated results (see docs/run_health.md).
+     */
+    obs::FlightRecorder *recorder = nullptr;
+    /**
+     * Testing aid for the stall watchdog: when nonzero, the driver
+     * schedules one event at the very start of the run that spins
+     * host wall-clock for this many milliseconds while simulated time
+     * stands still -- a reproducible "wedged handler". The spin polls
+     * the cooperative interrupt flag so a SIGINT still unwinds
+     * promptly. Zero (the default) schedules nothing.
+     */
+    std::uint32_t wedge_host_ms = 0;
 
     // ---- Determinism analysis hooks (see docs/determinism.md) ----------
     /**
@@ -185,6 +202,14 @@ struct RunResult
      * allowed to change it.
      */
     std::uint64_t events_processed = 0;
+    /**
+     * True when the run was cut short by the cooperative interrupt
+     * flag (SIGINT): timing and traffic fields describe the run up to
+     * the interruption, oracle end-of-run drain checks were skipped,
+     * and any stats document derived from this result must carry
+     * `"partial": true`.
+     */
+    bool interrupted = false;
 
     double totalSeconds() const
     { return static_cast<double>(total_time) /

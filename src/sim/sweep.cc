@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "obs/health.hh"
 #include "sim/trace_cache.hh"
 
 namespace fp::sim {
@@ -23,14 +24,40 @@ std::vector<RunResult>
 SweepRunner::run(const std::vector<SweepJob> &batch)
 {
     std::vector<RunResult> results(batch.size());
+    _jobs_total.fetch_add(batch.size(), std::memory_order_relaxed);
     _pool.parallelFor(batch.size(), [&](std::size_t i) {
         const SweepJob &job = batch[i];
         const trace::WorkloadTrace &trace =
             TraceCache::instance().get(job.workload, job.params);
         SimulationDriver driver(job.config);
         results[i] = driver.run(trace, job.paradigm);
+        _jobs_done.fetch_add(1, std::memory_order_relaxed);
     });
     return results;
 }
+
+void
+SweepRunner::attachHealth(obs::HealthMonitor *health)
+{
+    if (health)
+        health->setSweepProgress(&_jobs_done, &_jobs_total);
+}
+
+HealthHeartbeatGuard::HealthHeartbeatGuard(SweepRunner &runner)
+{
+    const char *env = std::getenv("FINEPACK_BENCH_HEARTBEAT_NS");
+    if (!env)
+        return;
+    long long interval = std::atoll(env);
+    if (interval <= 0)
+        return;
+    obs::HealthMonitor::Options options;
+    options.heartbeat_ns = static_cast<std::uint64_t>(interval);
+    _monitor = std::make_unique<obs::HealthMonitor>(options);
+    runner.attachHealth(_monitor.get());
+    _monitor->start();
+}
+
+HealthHeartbeatGuard::~HealthHeartbeatGuard() = default;
 
 } // namespace fp::sim

@@ -26,6 +26,9 @@
 #ifndef FP_SIM_SWEEP_HH
 #define FP_SIM_SWEEP_HH
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,6 +36,10 @@
 #include "sim/driver.hh"
 #include "sim/paradigm.hh"
 #include "workloads/workload.hh"
+
+namespace fp::obs {
+class HealthMonitor;
+} // namespace fp::obs
 
 namespace fp::sim {
 
@@ -83,8 +90,57 @@ class SweepRunner
      */
     std::vector<RunResult> run(const std::vector<SweepJob> &batch);
 
+    /**
+     * Cumulative sweep progress over this runner's lifetime, published
+     * as relaxed atomics: run() adds the batch size to the submitted
+     * count up front and bumps the completed count once per finished
+     * job (on whichever worker ran it). The run-health heartbeat reads
+     * these to report per-shard progress and an ETA, and the watchdog
+     * uses submitted > completed to distinguish "queue drained but
+     * shards outstanding" (a quiescent stall) from a finished run.
+     */
+    std::uint64_t jobsCompleted() const
+    { return _jobs_done.load(std::memory_order_relaxed); }
+    std::uint64_t jobsSubmitted() const
+    { return _jobs_total.load(std::memory_order_relaxed); }
+
+    /**
+     * Point @p health (nullable) at this runner's progress cells via
+     * HealthMonitor::setSweepProgress. The runner must outlive the
+     * monitor's watchdog thread (or a later attachHealth(nullptr) --
+     * on a different monitor -- must detach it first).
+     */
+    void attachHealth(obs::HealthMonitor *health);
+
   private:
     fp::ThreadPool _pool;
+    std::atomic<std::uint64_t> _jobs_done{0};
+    std::atomic<std::uint64_t> _jobs_total{0};
+};
+
+/**
+ * Environment-gated sweep heartbeat (the bench harness's run-health
+ * hook): when FINEPACK_BENCH_HEARTBEAT_NS is set to a positive
+ * nanosecond interval, constructing the guard starts an
+ * obs::HealthMonitor attached to @p runner's progress cells, emitting
+ * `kind:"heartbeat"` JSON lines (jobs done/total, ETA, RSS) on stderr
+ * until destruction. Without the variable the guard is inert -- bench
+ * output and digests are untouched by default. See docs/run_health.md.
+ */
+class HealthHeartbeatGuard
+{
+  public:
+    explicit HealthHeartbeatGuard(SweepRunner &runner);
+    ~HealthHeartbeatGuard();
+
+    HealthHeartbeatGuard(const HealthHeartbeatGuard &) = delete;
+    HealthHeartbeatGuard &operator=(const HealthHeartbeatGuard &) =
+        delete;
+
+    bool active() const { return _monitor != nullptr; }
+
+  private:
+    std::unique_ptr<obs::HealthMonitor> _monitor;
 };
 
 } // namespace fp::sim

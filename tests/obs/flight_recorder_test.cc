@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Flight-recorder unit tests: capacity rounding, ring wraparound at
+ * small capacities, per-kind accounting, EventQueue observer
+ * integration, and the InvariantRegistry bridge that gives
+ * FP_INVARIANT failures their "while executing ..." context.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/invariant.hh"
+#include "common/event_queue.hh"
+#include "obs/flight_recorder.hh"
+
+using namespace fp;
+using obs::FlightKind;
+using obs::FlightRecorder;
+
+TEST(FlightRecorder, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(FlightRecorder(0).capacity(), 2u);
+    EXPECT_EQ(FlightRecorder(1).capacity(), 2u);
+    EXPECT_EQ(FlightRecorder(2).capacity(), 2u);
+    EXPECT_EQ(FlightRecorder(3).capacity(), 4u);
+    EXPECT_EQ(FlightRecorder(4).capacity(), 4u);
+    EXPECT_EQ(FlightRecorder(5).capacity(), 8u);
+    EXPECT_EQ(FlightRecorder().capacity(),
+              FlightRecorder::default_capacity);
+}
+
+TEST(FlightRecorder, SnapshotBeforeWrapKeepsEveryRecordInOrder)
+{
+    FlightRecorder recorder(8);
+    recorder.record(FlightKind::note, 10, "first");
+    recorder.record(FlightKind::note, 20, "second");
+    recorder.record(FlightKind::note, 30, "third");
+
+    EXPECT_EQ(recorder.recordsWritten(), 3u);
+    auto records = recorder.snapshot();
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0].seq, 1u);
+    EXPECT_STREQ(records[0].label, "first");
+    EXPECT_EQ(records[1].tick, 20u);
+    EXPECT_EQ(records[2].seq, 3u);
+    EXPECT_STREQ(records[2].label, "third");
+}
+
+TEST(FlightRecorder, RingWrapsAtSmallCapacity)
+{
+    // Capacity 4: after ten records only the last four survive, and
+    // the snapshot walks them oldest-first with monotonic sequences.
+    FlightRecorder recorder(4);
+    static const char *const labels[] = {"r0", "r1", "r2", "r3", "r4",
+                                         "r5", "r6", "r7", "r8", "r9"};
+    for (std::uint64_t i = 0; i < 10; ++i)
+        recorder.record(FlightKind::note, 100 + i, labels[i], i);
+
+    EXPECT_EQ(recorder.recordsWritten(), 10u);
+    EXPECT_EQ(recorder.lastTick(), 109u);
+
+    auto records = recorder.snapshot();
+    ASSERT_EQ(records.size(), 4u);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records[i].seq, 7u + i);
+        EXPECT_EQ(records[i].tick, 106u + i);
+        EXPECT_STREQ(records[i].label, labels[6 + i]);
+        EXPECT_EQ(records[i].a, 6u + i);
+    }
+}
+
+TEST(FlightRecorder, WrapIsStableAcrossManyGenerations)
+{
+    // The mask arithmetic must hold far past the first wrap: a tiny
+    // ring hammered for thousands of records still yields exactly
+    // `capacity` decodable slots with contiguous tail sequences.
+    FlightRecorder recorder(2);
+    for (std::uint64_t i = 1; i <= 5000; ++i)
+        recorder.record(FlightKind::note, i, "spin", i);
+    auto records = recorder.snapshot();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].seq, 4999u);
+    EXPECT_EQ(records[1].seq, 5000u);
+    EXPECT_EQ(records[1].a, 5000u);
+}
+
+TEST(FlightRecorder, KindCountsAndRwqEntriesAccumulate)
+{
+    FlightRecorder recorder(4);
+    recorder.record(FlightKind::rwq_flush, 1, "release", 3, 1);
+    recorder.record(FlightKind::rwq_flush, 2, "capacity", 5, 2);
+    recorder.record(FlightKind::fabric_inject, 3, "fabric.inject", 64,
+                    1);
+    recorder.record(FlightKind::note, 4, "marker");
+
+    EXPECT_EQ(recorder.kindCount(FlightKind::rwq_flush), 2u);
+    EXPECT_EQ(recorder.kindCount(FlightKind::fabric_inject), 1u);
+    EXPECT_EQ(recorder.kindCount(FlightKind::note), 1u);
+    EXPECT_EQ(recorder.kindCount(FlightKind::event), 0u);
+    // rwq_flush's `a` payload is the entry count; the rollup sums it.
+    EXPECT_EQ(recorder.rwqEntriesFlushed(), 8u);
+}
+
+TEST(FlightRecorder, ObservesEventQueueAndPublishesCounters)
+{
+    common::EventQueue queue;
+    FlightRecorder recorder(16);
+    queue.addObserver(&recorder);
+    recorder.beginRun(&queue);
+
+    int fired = 0;
+    queue.schedule([&fired]() { ++fired; }, 10,
+                   common::Event::prio_default, "unit.alpha");
+    queue.schedule([&fired]() { ++fired; }, 20,
+                   common::Event::prio_default, "unit.beta");
+    queue.run();
+    recorder.endRun();
+    queue.removeObserver(&recorder);
+
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(recorder.eventsSeen(), 2u);
+    EXPECT_STREQ(recorder.lastEventLabel(), "unit.beta");
+    EXPECT_EQ(recorder.lastTick(), 20u);
+    EXPECT_EQ(recorder.queueProcessed(), 2u);
+    EXPECT_EQ(recorder.queueScheduled(), 2u);
+    EXPECT_EQ(recorder.queueDepth(), 0u);
+    EXPECT_GE(recorder.queuePeakDepth(), 2u);
+    // Two events plus the begin/end run markers.
+    EXPECT_EQ(recorder.kindCount(FlightKind::event), 2u);
+    EXPECT_EQ(recorder.kindCount(FlightKind::note), 2u);
+
+    auto records = recorder.snapshot();
+    ASSERT_EQ(records.size(), 4u);
+    EXPECT_STREQ(records.front().label, "recorder.begin_run");
+    EXPECT_STREQ(records[1].label, "unit.alpha");
+    EXPECT_STREQ(records.back().label, "recorder.end_run");
+}
+
+namespace {
+
+/** Installs the registry bridge and guarantees cleanup + reset. */
+class FlightRecorderInvariantTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        check::InvariantRegistry::instance().reset();
+        recorder.installInvariantHooks();
+    }
+
+    void TearDown() override
+    {
+        recorder.removeInvariantHooks();
+        check::InvariantRegistry::instance().reset();
+    }
+
+    FlightRecorder recorder{16};
+};
+
+} // namespace
+
+TEST_F(FlightRecorderInvariantTest, EvaluationsBecomeRingRecords)
+{
+    check::InvariantRegistry::instance().recordCheck("unit-invariant");
+    check::InvariantRegistry::instance().recordCheck("unit-invariant");
+
+    EXPECT_EQ(recorder.kindCount(FlightKind::invariant), 2u);
+    auto records = recorder.snapshot();
+    ASSERT_FALSE(records.empty());
+    EXPECT_EQ(records.back().kind, FlightKind::invariant);
+    EXPECT_STREQ(records.back().label, "unit-invariant");
+}
+
+TEST_F(FlightRecorderInvariantTest, FailureCarriesEventContext)
+{
+    // Drive one labeled event through a queue the recorder observes so
+    // the ring knows "what the simulator was doing"...
+    common::EventQueue queue;
+    queue.addObserver(&recorder);
+    recorder.beginRun(&queue);
+    queue.schedule([]() {}, 42, common::Event::prio_default,
+                   "unit.ctx_event");
+    queue.run();
+    queue.removeObserver(&recorder);
+
+    // ... then trip an invariant: the thrown InvariantViolation names
+    // the invariant and its message carries tick + event-label context
+    // from the ring (docs/run_health.md).
+    try {
+        check::InvariantRegistry::instance().fail(
+            "ctx-test", __FILE__, __LINE__, "intentional");
+        FAIL() << "fail() must throw";
+    } catch (const check::InvariantViolation &err) {
+        EXPECT_STREQ(err.invariantName(), "ctx-test");
+        std::string message = err.what();
+        EXPECT_NE(message.find("[ctx-test]"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find(" while executing 'unit.ctx_event'"),
+                  std::string::npos)
+            << message;
+        EXPECT_NE(message.find("at tick 42"), std::string::npos)
+            << message;
+    }
+    EXPECT_EQ(check::InvariantRegistry::instance().failures(), 1u);
+}
+
+TEST_F(FlightRecorderInvariantTest, RemovingHooksDropsContext)
+{
+    recorder.removeInvariantHooks();
+    try {
+        check::InvariantRegistry::instance().fail(
+            "bare-test", __FILE__, __LINE__, "intentional");
+        FAIL() << "fail() must throw";
+    } catch (const check::InvariantViolation &err) {
+        std::string message = err.what();
+        EXPECT_EQ(message.find(" while executing "), std::string::npos)
+            << message;
+    }
+}

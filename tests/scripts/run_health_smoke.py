@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the run-health layer (docs/run_health.md).
+
+Drives the real fptrace binary through the three failure-shaped
+scenarios the flight recorder / watchdog / fatal handler exist for,
+checking the *process-level* contract the unit tests cannot:
+
+  1. stall:   a replay wedged by --wedge-ms emits a `kind:"stall"`
+              heartbeat-stream document diagnosing mode "wedged"
+              within the configured stall threshold, then finishes
+              cleanly (exit 0) once the wedge clears.
+  2. SIGINT:  an interrupted replay exits 130, writes a parsable
+              `kind:"postmortem"` document with ring records, and
+              still flushes a stats document marked "partial": true.
+  3. SIGTERM: termination exits 143 with a postmortem naming the
+              signal.
+
+Usage: run_health_smoke.py <fptrace-binary>
+
+Stdlib only (subprocess/signal/json/tempfile); registered with ctest
+from tests/CMakeLists.txt. Exits nonzero with a diagnostic on the
+first failed expectation.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def fail(message):
+    print("run_health_smoke: FAIL: " + message, file=sys.stderr)
+    sys.exit(1)
+
+
+def check(cond, message):
+    if not cond:
+        fail(message)
+
+
+def read_json_lines(path):
+    docs = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                docs.append(json.loads(line))
+    return docs
+
+
+def generate_trace(fptrace, tmp):
+    trace = os.path.join(tmp, "smoke.fpt")
+    result = subprocess.run(
+        [fptrace, "generate", "jacobi", trace, "--scale", "0.05"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    check(result.returncode == 0,
+          "trace generation failed: " + result.stdout)
+    return trace
+
+
+def scenario_stall(fptrace, trace, tmp):
+    """A wedged handler must be diagnosed within the stall window."""
+    heartbeat = os.path.join(tmp, "stall_heartbeat.ndjson")
+    result = subprocess.run(
+        [fptrace, "replay", trace,
+         "--wedge-ms", "600",
+         "--flight-recorder",
+         "--heartbeat-ns", "50000000",      # beat every 50 ms
+         "--stall-ns", "150000000",         # diagnose after 150 ms
+         "--heartbeat-out", heartbeat],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        timeout=120)
+    check(result.returncode == 0,
+          "wedged replay should still finish cleanly, got %d:\n%s"
+          % (result.returncode, result.stdout))
+
+    docs = read_json_lines(heartbeat)
+    stalls = [d for d in docs if d.get("kind") == "stall"]
+    beats = [d for d in docs if d.get("kind") == "heartbeat"]
+    check(len(beats) >= 2, "expected >= 2 heartbeats, got %d" % len(beats))
+    check(len(stalls) >= 1, "wedged run produced no stall document")
+    stall = stalls[0]
+    check(stall["mode"] == "wedged",
+          "expected mode wedged, got %r" % stall.get("mode"))
+    check(stall["queue"]["depth"] > 0,
+          "wedged stall must report queued work")
+    check(stall["stalled_ns"] >= 150000000,
+          "stall fired before the threshold")
+    # Diagnosed *within* the watchdog interval: the wedge lasts 600 ms,
+    # so the stall document must appear while the handler is still
+    # stuck, not after the run completes -- i.e. the frozen interval it
+    # reports is well under the total wedge time plus one beat.
+    check(stall["stalled_ns"] < 600000000 + 50000000,
+          "stall diagnosed too late (stalled_ns=%d)" % stall["stalled_ns"])
+    check(stall.get("last_event") == "driver.wedge_host",
+          "stall should name the wedged event, got %r"
+          % stall.get("last_event"))
+    print("run_health_smoke: stall scenario ok "
+          "(%d beats, stalled_ns=%d)" % (len(beats), stall["stalled_ns"]))
+
+
+def launch_wedged(fptrace, trace, tmp, tag):
+    """Start a replay that wedges for 5 s, leaving time to signal it."""
+    stats = os.path.join(tmp, tag + "_stats.json")
+    postmortem = os.path.join(tmp, tag + "_postmortem.json")
+    proc = subprocess.Popen(
+        [fptrace, "replay", trace,
+         "--wedge-ms", "5000",
+         "--flight-recorder",
+         "--stats-json", stats,
+         "--postmortem-out", postmortem],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    # Give the run time to install handlers and enter the wedge. The
+    # wedge spin polls the interrupt flag, so the signal lands mid-run.
+    time.sleep(0.7)
+    return proc, stats, postmortem
+
+
+def check_postmortem(postmortem, expected_reason):
+    check(os.path.exists(postmortem),
+          "no postmortem written at " + postmortem)
+    with open(postmortem, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    check(doc.get("kind") == "postmortem",
+          "postmortem kind is %r" % doc.get("kind"))
+    check(doc.get("reason") == expected_reason,
+          "postmortem reason %r != %r" % (doc.get("reason"),
+                                          expected_reason))
+    check(doc.get("schema_version") == 1, "postmortem schema_version")
+    check("provenance" in doc, "postmortem lacks provenance")
+    check(len(doc.get("ring", [])) >= 1, "postmortem ring is empty")
+    check(doc.get("records_written", 0) >= 1,
+          "postmortem lacks recorder progress")
+
+
+def scenario_sigint(fptrace, trace, tmp):
+    """SIGINT: exit 130, postmortem, partial stats still flushed."""
+    proc, stats, postmortem = launch_wedged(fptrace, trace, tmp, "int")
+    proc.send_signal(signal.SIGINT)
+    out, _ = proc.communicate(timeout=120)
+    check(proc.returncode == 130,
+          "SIGINT exit code %d != 130:\n%s" % (proc.returncode, out))
+    check("interrupted: results above are partial" in out,
+          "missing partial-results notice:\n" + out)
+    check_postmortem(postmortem, "signal:SIGINT")
+    # The partial stats document still made it to disk, marked as such.
+    with open(stats, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    check(doc.get("partial") is True, "stats document not marked partial")
+    check("groups" in doc, "partial stats lack metric groups")
+    print("run_health_smoke: SIGINT scenario ok")
+
+
+def scenario_sigterm(fptrace, trace, tmp):
+    """SIGTERM: exit 143 with a postmortem naming the signal."""
+    proc, _, postmortem = launch_wedged(fptrace, trace, tmp, "term")
+    proc.send_signal(signal.SIGTERM)
+    out, _ = proc.communicate(timeout=120)
+    check(proc.returncode == 143,
+          "SIGTERM exit code %d != 143:\n%s" % (proc.returncode, out))
+    check_postmortem(postmortem, "signal:SIGTERM")
+    print("run_health_smoke: SIGTERM scenario ok")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: run_health_smoke.py <fptrace-binary>")
+    fptrace = sys.argv[1]
+    check(os.path.exists(fptrace), "no such binary: " + fptrace)
+    with tempfile.TemporaryDirectory(prefix="fp_health_") as tmp:
+        trace = generate_trace(fptrace, tmp)
+        scenario_stall(fptrace, trace, tmp)
+        scenario_sigint(fptrace, trace, tmp)
+        scenario_sigterm(fptrace, trace, tmp)
+    print("run_health_smoke: all scenarios ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The run-health layer must be a pure observer: attaching the flight
+ * recorder and the heartbeat/stall watchdog to a checked finepack run
+ * may change nothing the simulation produces -- not the oracle digest,
+ * not the stats document, not any RunResult field. This is the same
+ * acceptance gate the profiler (PR 7) and sampler rode through; see
+ * tests/sim/profiler_digest_test.cc for the mold.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/flight_recorder.hh"
+#include "obs/health.hh"
+#include "obs/metrics.hh"
+#include "obs/sampler.hh"
+#include "sim/driver.hh"
+#include "sim/trace_cache.hh"
+#include "workloads/workload.hh"
+#include "../support/mini_json.hh"
+
+using namespace fp;
+using namespace fp::sim;
+using fp::testing::parseJson;
+
+namespace {
+
+const trace::WorkloadTrace &
+smallTrace(const std::string &name)
+{
+    workloads::WorkloadParams params;
+    params.num_gpus = 4;
+    params.scale = 0.05;
+    params.seed = 42;
+    return TraceCache::instance().get(name, params);
+}
+
+/** One checked, instrumented run; flight recorder optional. */
+struct CheckedRun
+{
+    obs::PeriodicSampler sampler{10 * ticks_per_us};
+    obs::MetricsCapture metrics;
+    RunResult result;
+
+    explicit CheckedRun(const trace::WorkloadTrace &trace,
+                        obs::FlightRecorder *recorder = nullptr)
+    {
+        SimConfig config;
+        config.check = true;
+        config.sampler = &sampler;
+        config.metrics = &metrics;
+        config.recorder = recorder;
+        result = SimulationDriver(config).run(trace, Paradigm::finepack);
+    }
+
+    std::string
+    document(bool partial = false)
+    {
+        std::ostringstream os;
+        metrics.writeDocument(os, &sampler, nullptr, nullptr, partial);
+        return os.str();
+    }
+};
+
+void
+expectIdenticalResults(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.oracle_digest, b.oracle_digest);
+    EXPECT_EQ(a.oracle_transactions, b.oracle_transactions);
+    EXPECT_EQ(a.oracle_stores, b.oracle_stores);
+    EXPECT_EQ(a.oracle_bytes, b.oracle_bytes);
+    EXPECT_EQ(a.total_time, b.total_time);
+    EXPECT_EQ(a.wire_bytes, b.wire_bytes);
+    EXPECT_EQ(a.payload_bytes, b.payload_bytes);
+    EXPECT_EQ(a.header_bytes, b.header_bytes);
+    EXPECT_EQ(a.data_bytes, b.data_bytes);
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_EQ(a.useful_bytes, b.useful_bytes);
+    EXPECT_EQ(a.protocol_bytes, b.protocol_bytes);
+    EXPECT_EQ(a.wasted_bytes, b.wasted_bytes);
+    EXPECT_EQ(a.finepack_packets, b.finepack_packets);
+    EXPECT_EQ(a.events_processed, b.events_processed);
+    EXPECT_EQ(a.interrupted, b.interrupted);
+}
+
+} // namespace
+
+TEST(HealthDigest, RecordedRunIsBitIdenticalToPlainRun)
+{
+    const auto &trace = smallTrace("jacobi");
+    CheckedRun plain(trace);
+    obs::FlightRecorder recorder; // default 256-slot ring
+    CheckedRun recorded(trace, &recorder);
+
+    // The oracle verified real work in both runs ...
+    ASSERT_GT(plain.result.oracle_transactions, 0u);
+    ASSERT_NE(plain.result.oracle_digest, 0u);
+    // ... and the recorder actually rode the run it claims to observe:
+    // every executed event became a ring record, the RWQ and fabric
+    // taps fired, and the queue counters were published.
+    ASSERT_GT(recorder.eventsSeen(), 0u);
+    EXPECT_EQ(recorder.eventsSeen(), recorded.result.events_processed);
+    EXPECT_GT(recorder.kindCount(obs::FlightKind::rwq_flush), 0u);
+    EXPECT_GT(recorder.kindCount(obs::FlightKind::fabric_inject), 0u);
+    EXPECT_EQ(recorder.queueProcessed(),
+              recorded.result.events_processed);
+    EXPECT_EQ(recorder.queueDepth(), 0u);
+
+    expectIdenticalResults(recorded.result, plain.result);
+    // The serialized stats document is byte-identical too.
+    EXPECT_EQ(recorded.document(), plain.document());
+}
+
+TEST(HealthDigest, WatchdogRunIsBitIdenticalToPlainRun)
+{
+    const auto &trace = smallTrace("sssp");
+    CheckedRun plain(trace);
+
+    // Full run-health rig: recorder attached to the driver AND a live
+    // watchdog thread beating every 1 ms while the simulation runs,
+    // with heartbeats routed to a file so test output stays clean.
+    obs::FlightRecorder recorder;
+    obs::HealthMonitor::Options options;
+    options.heartbeat_ns = 1'000'000ULL;
+    options.heartbeat_path =
+        ::testing::TempDir() + "health_digest_heartbeat.ndjson";
+    obs::HealthMonitor monitor(options);
+    monitor.attachRecorder(&recorder);
+    monitor.start();
+    CheckedRun watched(trace, &recorder);
+    monitor.stop();
+
+    expectIdenticalResults(watched.result, plain.result);
+    EXPECT_EQ(watched.document(), plain.document());
+}
+
+TEST(HealthDigest, PartialFlagOnlyAppearsWhenRequested)
+{
+    const auto &trace = smallTrace("jacobi");
+    CheckedRun run(trace);
+
+    // Complete documents carry no "partial" key at all -- the key's
+    // absence is what keeps historical digests stable.
+    auto complete = parseJson(run.document());
+    EXPECT_FALSE(complete.has("partial"));
+    EXPECT_TRUE(complete.has("provenance"));
+
+    auto partial = parseJson(run.document(/*partial=*/true));
+    ASSERT_TRUE(partial.has("partial"));
+    EXPECT_TRUE(partial.at("partial").boolean);
+    // The flag is a prefix splice: every other section is untouched.
+    EXPECT_EQ(partial.at("groups").array.size(),
+              complete.at("groups").array.size());
+}

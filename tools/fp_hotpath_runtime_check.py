@@ -24,6 +24,13 @@ The two AllocCounters streams map to sites like this:
 If the arena PR (ROADMAP item 1) retires a seam, it must retire the
 counter and this mapping together.
 
+The check then profiles the same trace a second time with the flight
+recorder enabled (--flight-recorder): FlightRecorder::record() is on
+the per-event hot path and claims to be zero-allocation after setup
+(src/obs/flight_recorder.hh), so both host.alloc counters must come
+back *identical* to the plain run -- any drift means the run-health
+layer started allocating per event.
+
 Usage: fp_hotpath_runtime_check.py <fptrace-binary> [--keep]
 Exits non-zero on any mismatch.
 """
@@ -75,16 +82,30 @@ def main():
             f"inventory lists only {len(inventory['hot_functions'])} "
             "hot functions; the per-event path should contribute >= 5")
 
-    # Runtime side: generate + profile a small replay.
+    # Runtime side: generate + profile a small replay, then the same
+    # replay with the flight recorder riding the event hooks.
     with tempfile.TemporaryDirectory() as tmp:
         trace = os.path.join(tmp, "check.fpt")
         profile = os.path.join(tmp, "profile.json")
+        recorded = os.path.join(tmp, "profile_recorded.json")
         run([args.fptrace, "generate", args.workload, trace,
              "--scale", args.scale, "--gpus", "2", "--seed", "7"])
         run([args.fptrace, "profile", trace, "--reps", "1",
              "--json", profile])
+        run([args.fptrace, "profile", trace, "--reps", "1",
+             "--flight-recorder", "--json", recorded])
         with open(profile, encoding="utf-8") as f:
             alloc = json.load(f)["host"]["alloc"]
+        with open(recorded, encoding="utf-8") as f:
+            alloc_recorded = json.load(f)["host"]["alloc"]
+
+    # The recorder's ring is preallocated and record() is wait-free:
+    # attaching it may not add a single counted allocation.
+    if alloc_recorded != alloc:
+        failures.append(
+            "host.alloc drifted with --flight-recorder on: "
+            f"{alloc} (plain) vs {alloc_recorded} (recorded) -- "
+            "FlightRecorder::record() must stay zero-alloc after setup")
 
     for counter, count in sorted(alloc.items()):
         mapping = COUNTER_SITES.get(counter)

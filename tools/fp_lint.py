@@ -37,6 +37,20 @@ docs/thread_safety.md):
                        anything else needs a guard or a waiver naming
                        its synchronization story.
 
+Signal-safety companion for the fatal-handler TU (docs/run_health.md):
+
+  signal-unsafe        in a file whose first lines carry the marker
+                       `// fp-lint: async-signal-safe` (src/obs/
+                       fatal.cc -- code that runs inside signal
+                       handlers), every construct POSIX does not
+                       guarantee async-signal-safe is banned:
+                       allocation (malloc family, operator new/delete,
+                       std::make_*), stdio/iostream formatting,
+                       std::string and friends, exceptions, exit()
+                       (use _exit), and the fp_panic/fp_fatal logging
+                       macros. Only marker-carrying files are scanned;
+                       everything else is out of scope by definition.
+
 Waivers: append `// fp-lint: allow(<rule>) <reason>` to the offending
 line, or place it on the line directly above. Waivers without a reason
 are themselves errors.
@@ -59,7 +73,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import fp_cpplex  # noqa: E402
 
 RULES = ("wall-clock", "unseeded-rng", "unordered-iteration",
-         "raw-concurrency", "global-state")
+         "raw-concurrency", "global-state", "signal-unsafe")
 
 WALL_CLOCK = re.compile(
     r"\b(system_clock|steady_clock|high_resolution_clock"
@@ -118,6 +132,34 @@ STATIC_DECL = re.compile(
 NS_VAR = re.compile(
     r"^\s*(?:[\w:]+(?:<[^;]*>)?[\s&*]+)+([A-Za-z_]\w*)\s*"
     r"(?:=|;|\{[^{}]*\}\s*;)")
+# Opt-in marker placing a whole translation unit under the
+# signal-unsafe rule (fp_cpplex.scrub keeps `// fp-lint:` comments, so
+# the marker survives into the scrubbed lines the scan runs over).
+SIGNAL_SAFE_MARKER = re.compile(r"//\s*fp-lint:\s*async-signal-safe\b")
+# Constructs POSIX does not list as async-signal-safe, lexically:
+# allocation, buffered stdio, C++ formatting/container machinery,
+# exceptions, atexit-running exit(), and the repo's logging macros
+# (they format into std::string and may throw). `\bexit` deliberately
+# does not match `_exit` / `_Exit` / `quick_exit` (no word boundary
+# after '_'), which is exactly the discipline the handler needs.
+SIGNAL_UNSAFE = re.compile(
+    r"\b(?:malloc|calloc|realloc|free|strdup)\s*\("
+    r"|\b(?:printf|fprintf|sprintf|snprintf|vprintf|vfprintf"
+    r"|vsnprintf|puts|fputs|fputc|putchar|fwrite|fread|fopen|fclose"
+    r"|fflush|perror|syslog)\s*\("
+    r"|\bexit\s*\("
+    r"|\bnew\b|\bdelete\b|\bthrow\b"
+    r"|\bstd::(?:string|cout|cerr|clog|ostringstream|istringstream"
+    r"|stringstream|vector|map|unordered_map|function|make_unique"
+    r"|make_shared|to_string)\b"
+    r"|\bfp_(?:panic|fatal|warn|inform|assert)\b"
+)
+# Headers whose facilities are wholesale off-limits in a handler TU.
+SIGNAL_UNSAFE_INCLUDE = re.compile(
+    r"#\s*include\s*<(?:iostream|ostream|sstream|fstream|string"
+    r"|vector|map|unordered_map|functional|memory|cstdio)>"
+)
+
 # Declarations that are safe by construction: immutable, confined, or
 # internally synchronized primitives from common/sync.h.
 GLOBAL_STATE_EXEMPT = re.compile(
@@ -325,6 +367,8 @@ def lint_file(path, findings):
 
     allow_raw = is_sync_header(path)
     ns_scope = namespace_scope_mask(lines)
+    signal_safe_tu = any(
+        SIGNAL_SAFE_MARKER.search(line) for line in lines)
 
     for idx, line in enumerate(lines):
         hits = []
@@ -349,6 +393,13 @@ def lint_file(path, findings):
                          "raw std concurrency primitive (use the "
                          "annotated fp::Mutex / MutexLock / CondVar / "
                          "ThreadPool from common/sync.h)"))
+        if signal_safe_tu and not SIGNAL_SAFE_MARKER.search(line) \
+                and (SIGNAL_UNSAFE.search(line)
+                     or SIGNAL_UNSAFE_INCLUDE.search(line)):
+            hits.append(("signal-unsafe",
+                         "not async-signal-safe in a TU marked "
+                         "`fp-lint: async-signal-safe` (write(2), "
+                         "manual formatting, and _exit only)"))
         if not GLOBAL_STATE_EXEMPT.search(line):
             m = STATIC_DECL.search(line)
             if not m and ns_scope[idx] and "(" not in line:

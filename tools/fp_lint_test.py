@@ -358,5 +358,84 @@ class WaiverTest(LintCase):
         self.assertEqual(found, [("global-state", 3)])
 
 
+class SignalUnsafeTest(LintCase):
+    MARK = "// fp-lint: async-signal-safe\n"
+
+    def test_unmarked_file_is_out_of_scope(self):
+        self.assertEqual(self.lint("a.cc", (
+            "void f() {\n"
+            "    std::string s = std::to_string(7);\n"
+            "    printf(\"%d\\n\", 7);\n"
+            "}\n")), [])
+
+    def test_allocation_and_stdio_flagged_in_marked_file(self):
+        found = self.lint("fatal.cc", self.MARK + (
+            "void f() {\n"
+            "    char *p = (char *)malloc(16);\n"
+            "    printf(\"%s\", p);\n"
+            "    free(p);\n"
+            "    int *q = new int;\n"
+            "    delete q;\n"
+            "}\n"))
+        self.assertEqual(found, [("signal-unsafe", 3),
+                                 ("signal-unsafe", 4),
+                                 ("signal-unsafe", 5),
+                                 ("signal-unsafe", 6),
+                                 ("signal-unsafe", 7)])
+
+    def test_cpp_machinery_and_throw_flagged(self):
+        found = self.lint("fatal.cc", self.MARK + (
+            "#include <sstream>\n"
+            "void f() {\n"
+            "    std::string s;\n"
+            "    std::cerr << s;\n"
+            "    throw 1;\n"
+            "    fp_panic(\"boom\");\n"
+            "}\n"))
+        self.assertEqual(found, [("signal-unsafe", 2),
+                                 ("signal-unsafe", 4),
+                                 ("signal-unsafe", 5),
+                                 ("signal-unsafe", 6),
+                                 ("signal-unsafe", 7)])
+
+    def test_exit_flagged_but_underscore_exit_allowed(self):
+        found = self.lint("fatal.cc", self.MARK + (
+            "void f() {\n"
+            "    ::_exit(130);\n"
+            "    std::_Exit(86);\n"
+            "    exit(1);\n"
+            "}\n"))
+        self.assertEqual(found, [("signal-unsafe", 5)])
+
+    def test_safe_handler_primitives_pass(self):
+        self.assertEqual(self.lint("fatal.cc", self.MARK + (
+            "#include <atomic>\n"
+            "#include <csignal>\n"
+            "#include <cstring>\n"
+            "void f(int fd) {\n"
+            "    std::atomic<int> ready{0};\n"
+            "    char buf[64];\n"
+            "    std::memset(buf, 0, sizeof(buf));\n"
+            "    ssize_t rc = ::write(fd, buf, 64);\n"
+            "    (void)rc;\n"
+            "    std::signal(SIGTERM, SIG_DFL);\n"
+            "    ::raise(SIGTERM);\n"
+            "}\n")), [])
+
+    def test_waiver_applies(self):
+        self.assertEqual(self.lint("fatal.cc", self.MARK + (
+            "void f() {\n"
+            "    // fp-lint: allow(signal-unsafe) install-time only\n"
+            "    std::string s;\n"
+            "}\n")), [])
+
+    def test_banned_token_in_comment_not_flagged(self):
+        # Comments are scrubbed before the scan, so prose mentioning
+        # malloc or printf does not trip the rule.
+        self.assertEqual(self.lint("fatal.cc", self.MARK + (
+            "// bans malloc, printf, and std::string\n"
+            "void f() {}\n")), [])
+
+
 if __name__ == "__main__":
     sys.exit(unittest.main())

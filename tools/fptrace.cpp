@@ -55,16 +55,22 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "check/digest.hh"
+#include "check/invariant.hh"
 #include "check/race_detector.hh"
 #include "common/build_info.hh"
+#include "common/interrupt.hh"
 #include "common/json.hh"
 #include "common/table.hh"
+#include "obs/fatal.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/flow.hh"
+#include "obs/health.hh"
 #include "obs/latency.hh"
 #include "obs/metrics.hh"
 #include "obs/profiler.hh"
@@ -102,7 +108,15 @@ usage()
            "                 [--seeds N] [--report FILE] [--waive GLOB]\n"
            "                 [--no-default-waivers]\n"
            "  fptrace list\n"
-           "  fptrace --version\n";
+           "  fptrace --version\n"
+           "run health (replay / profile / racecheck; "
+           "docs/run_health.md):\n"
+           "  [--flight-recorder[=N]] [--heartbeat-ns N]"
+           " [--heartbeat-out FILE]\n"
+           "  [--stall-ns N] [--postmortem-out FILE] [--wedge-ms N]\n"
+           "exit codes: 0 ok, 1 fatal, 2 usage, 3 panic, 86 invariant,\n"
+           "            130 interrupted (SIGINT), 143 terminated"
+           " (SIGTERM)\n";
     return 2;
 }
 
@@ -123,6 +137,108 @@ hasFlag(int argc, char **argv, const char *flag)
             return true;
     return false;
 }
+
+/**
+ * Run-health wiring shared by replay / profile / racecheck
+ * (docs/run_health.md): parses --flight-recorder[=N], --heartbeat-ns,
+ * --heartbeat-out, --stall-ns, --postmortem-out and --wedge-ms,
+ * installs the fatal signal handlers plus the logging failure hook
+ * (panic / FP_INVARIANT trip / oracle mismatch all flush the same
+ * `kind:"postmortem"` document), and owns the flight recorder and
+ * stall watchdog for the duration of the command.
+ */
+struct RunHealth
+{
+    std::unique_ptr<obs::FlightRecorder> recorder;
+    std::unique_ptr<obs::HealthMonitor> monitor;
+    std::uint32_t wedge_ms = 0;
+
+    RunHealth(int argc, char **argv)
+    {
+        // A fresh CLI invocation re-arms the cooperative flag (it
+        // deliberately survives across the runs inside one command).
+        common::interrupt::clear();
+
+        std::size_t ring = 0;
+        for (int i = 0; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--flight-recorder") == 0) {
+                ring = obs::FlightRecorder::default_capacity;
+            } else if (std::strncmp(argv[i], "--flight-recorder=",
+                                    18) == 0) {
+                int n = std::atoi(argv[i] + 18);
+                ring = n > 0 ? static_cast<std::size_t>(n)
+                             : obs::FlightRecorder::default_capacity;
+            }
+        }
+        auto heartbeat_ns = static_cast<std::uint64_t>(
+            std::atoll(argValue(argc, argv, "--heartbeat-ns", "0")));
+        const char *heartbeat_out =
+            argValue(argc, argv, "--heartbeat-out", "");
+        auto stall_ns = static_cast<std::uint64_t>(
+            std::atoll(argValue(argc, argv, "--stall-ns", "0")));
+        wedge_ms = static_cast<std::uint32_t>(
+            std::atoi(argValue(argc, argv, "--wedge-ms", "0")));
+
+        // The watchdog needs a progress source, so asking for
+        // heartbeats implies a (default-sized) recorder.
+        bool want_monitor = heartbeat_ns > 0 ||
+                            *heartbeat_out != '\0' || stall_ns > 0;
+        if (ring != 0 || want_monitor)
+            recorder = std::make_unique<obs::FlightRecorder>(
+                ring != 0 ? ring
+                          : obs::FlightRecorder::default_capacity);
+
+        // Signal handlers and the failure hook are always armed: a
+        // SIGINT'd replay flushes partial stats, and every panic or
+        // invariant trip produces a postmortem, recorder or not.
+        std::ostringstream provenance;
+        {
+            common::JsonWriter json(provenance);
+            common::dumpBuildInfoJson(json);
+        }
+        std::string provenance_str = provenance.str();
+        obs::fatal::Config fatal_config;
+        fatal_config.recorder = recorder.get();
+        const char *postmortem =
+            argValue(argc, argv, "--postmortem-out", "");
+        fatal_config.postmortem_path =
+            *postmortem != '\0' ? postmortem : nullptr;
+        fatal_config.provenance_json = provenance_str.c_str();
+        obs::fatal::install(fatal_config);
+        common::setFailureHook(
+            [](void *, const char *message) {
+                obs::fatal::writePostmortem(message);
+            },
+            nullptr);
+
+        if (recorder)
+            recorder->installInvariantHooks();
+        if (want_monitor) {
+            obs::HealthMonitor::Options options;
+            options.heartbeat_ns = heartbeat_ns; // 0 -> 1 s default
+            options.stall_ns = stall_ns;
+            options.heartbeat_path = heartbeat_out;
+            monitor = std::make_unique<obs::HealthMonitor>(options);
+            monitor->attachRecorder(recorder.get());
+            monitor->start();
+        }
+    }
+
+    ~RunHealth()
+    {
+        if (monitor)
+            monitor->stop();
+        common::setFailureHook(nullptr, nullptr);
+    }
+
+    /** Point one run's @p config at the recorder / wedge aid. */
+    void
+    configure(sim::SimConfig &config) const
+    {
+        config.recorder = recorder.get();
+        config.wedge_host_ms = wedge_ms;
+    }
+};
 
 sim::Paradigm
 parseParadigm(const std::string &name)
@@ -420,10 +536,17 @@ cmdReplay(int argc, char **argv)
     if (fabric_report)
         config.flows = &flows;
 
+    RunHealth health(argc, argv);
+    health.configure(config);
+
     sim::SimulationDriver driver(config);
     sim::RunResult baseline =
         driver.run(trace, sim::Paradigm::single_gpu);
     sim::RunResult result = driver.run(trace, paradigm);
+    // SIGINT lands here as a cleanly interrupted run: everything below
+    // still executes so the operator gets partial stats (marked
+    // `"partial": true`), and the exit code says the run was cut short.
+    bool partial = baseline.interrupted || result.interrupted;
 
     if (*stats_path != '\0') {
         std::ofstream out(stats_path);
@@ -431,8 +554,10 @@ cmdReplay(int argc, char **argv)
             fp_fatal("cannot open ", stats_path, " for writing");
         metrics.writeDocument(out, &sampler,
                               want_profile ? &profiler : nullptr,
-                              fabric_report ? &flows : nullptr);
-        std::cout << "stats json: " << stats_path << "\n";
+                              fabric_report ? &flows : nullptr,
+                              partial);
+        std::cout << "stats json: " << stats_path
+                  << (partial ? " (partial)" : "") << "\n";
     }
     if (config.tracer) {
         std::ofstream out(trace_path);
@@ -511,6 +636,10 @@ cmdReplay(int argc, char **argv)
             std::cout << "fabric json: " << fabric_json << "\n";
         }
     }
+    if (partial) {
+        std::cout << "interrupted: results above are partial\n";
+        return common::exit_code::interrupted;
+    }
     return 0;
 }
 
@@ -580,11 +709,15 @@ cmdProfile(int argc, char **argv)
         std::atoi(argValue(argc, argv, "--top", "10")));
     const char *json_path = argValue(argc, argv, "--json", "");
 
+    RunHealth health(argc, argv);
+    health.configure(config);
+
     obs::Profiler profiler;
     config.profiler = &profiler;
     sim::SimulationDriver driver(config);
-    for (int r = 0; r < reps; ++r)
-        driver.run(trace, paradigm);
+    bool partial = false;
+    for (int r = 0; r < reps && !partial; ++r)
+        partial = driver.run(trace, paradigm).interrupted;
 
     std::cout << "profile:    " << trace.workload << " under "
               << toString(paradigm) << " on "
@@ -614,6 +747,10 @@ cmdProfile(int argc, char **argv)
         out << "\n";
         std::cout << "json:       " << json_path << "\n";
     }
+    if (partial) {
+        std::cout << "interrupted: profile above is partial\n";
+        return common::exit_code::interrupted;
+    }
     return 0;
 }
 
@@ -625,6 +762,7 @@ struct SeedOutcome
     std::uint64_t stats_digest = 0;
     std::uint64_t result_digest = 0;
     Tick total_time = 0;
+    bool interrupted = false; ///< SIGINT cut this run short
 
     bool
     matches(const SeedOutcome &other) const
@@ -644,13 +782,14 @@ struct SeedOutcome
 SeedOutcome
 racecheckRun(const trace::WorkloadTrace &trace, sim::Paradigm paradigm,
              icn::PcieGen pcie, std::uint64_t seed,
-             check::RaceDetector *detector)
+             check::RaceDetector *detector, const RunHealth &health)
 {
     sim::SimConfig config;
     config.pcie_gen = pcie;
     config.check = paradigm == sim::Paradigm::finepack;
     config.tie_break_shuffle_seed = seed;
     config.queue_observer = detector;
+    health.configure(config);
 
     obs::PeriodicSampler sampler(1000 * ticks_per_ns);
     obs::MetricsCapture metrics;
@@ -666,6 +805,7 @@ racecheckRun(const trace::WorkloadTrace &trace, sim::Paradigm paradigm,
     outcome.seed = seed;
     outcome.total_time = result.total_time;
     outcome.oracle_digest = result.oracle_digest;
+    outcome.interrupted = result.interrupted;
 
     check::Digest stats;
     std::ostringstream doc;
@@ -710,6 +850,8 @@ cmdRacecheck(int argc, char **argv)
         seeds = 1;
     const char *report_path = argValue(argc, argv, "--report", "");
 
+    RunHealth health(argc, argv);
+
     check::RaceDetector detector;
     if (!hasFlag(argc, argv, "--no-default-waivers")) {
         // The switch's downlink FIFO arbitrates same-tick arrivals from
@@ -726,10 +868,12 @@ cmdRacecheck(int argc, char **argv)
     // Every run (baseline and shuffled) executes under the detector, so
     // a conflict only reachable in a permuted order is still caught.
     std::vector<SeedOutcome> outcomes;
-    for (int s = 0; s < seeds; ++s) {
+    bool interrupted = false;
+    for (int s = 0; s < seeds && !interrupted; ++s) {
         outcomes.push_back(racecheckRun(
             trace, paradigm, pcie, static_cast<std::uint64_t>(s),
-            &detector));
+            &detector, health));
+        interrupted = outcomes.back().interrupted;
     }
 
     bool schedule_independent = true;
@@ -806,6 +950,10 @@ cmdRacecheck(int argc, char **argv)
         std::cout << "report:     " << report_path << "\n";
     }
 
+    if (interrupted) {
+        std::cout << "racecheck: INTERRUPTED (partial)\n";
+        return common::exit_code::interrupted;
+    }
     if (!clean || !schedule_independent) {
         std::cout << "racecheck: FAIL\n";
         return 1;
@@ -822,16 +970,29 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage();
     std::string command = argv[1];
-    if (command == "generate")
-        return cmdGenerate(argc, argv);
-    if (command == "info")
-        return cmdInfo(argc, argv);
-    if (command == "replay")
-        return cmdReplay(argc, argv);
-    if (command == "profile")
-        return cmdProfile(argc, argv);
-    if (command == "racecheck")
-        return cmdRacecheck(argc, argv);
+    // Failures unwind here so the exit code is diagnostic
+    // (docs/run_health.md): 86 = invariant violation (the postmortem
+    // was already flushed by the failure hook), 3 = panic, 1 = fatal.
+    try {
+        if (command == "generate")
+            return cmdGenerate(argc, argv);
+        if (command == "info")
+            return cmdInfo(argc, argv);
+        if (command == "replay")
+            return cmdReplay(argc, argv);
+        if (command == "profile")
+            return cmdProfile(argc, argv);
+        if (command == "racecheck")
+            return cmdRacecheck(argc, argv);
+    } catch (const fp::check::InvariantViolation &err) {
+        std::cerr << err.what() << "\n";
+        return fp::common::exit_code::invariant;
+    } catch (const fp::common::SimError &err) {
+        std::cerr << err.what() << "\n";
+        return err.kind() == fp::common::SimError::Kind::Fatal
+                   ? fp::common::exit_code::fatal
+                   : fp::common::exit_code::panic;
+    }
     if (command == "--version" || command == "version") {
         std::cout << "fptrace " << fp::common::buildInfoLine() << "\n";
         return 0;
